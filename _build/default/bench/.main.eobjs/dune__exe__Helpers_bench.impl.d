@@ -1,0 +1,1 @@
+bench/helpers_bench.ml: Array Crs_core Crs_num Random

@@ -1,0 +1,12 @@
+(* Shared helpers for the bench harness. *)
+
+module Q = Crs_num.Rational
+
+(* Random 2-processor unit-size instance. With [~n] both rows have
+   exactly n jobs; otherwise row lengths are 1 + seed_jobs + random. *)
+let random_two_proc ?n st extra =
+  let row () =
+    let len = match n with Some n -> n | None -> 1 + extra + Random.State.int st 3 in
+    Array.init len (fun _ -> Q.of_ints (1 + Random.State.int st 10) 10)
+  in
+  Crs_core.Instance.of_requirements [| row (); row () |]

@@ -1,0 +1,448 @@
+(* crsched — command-line front end for the CRSharing library.
+
+   Subcommands: gen, solve, compare, render, graph, normalize, reduce,
+   simulate. Instances are text files (one processor per line, jobs as
+   rationals; see Instance.of_string). *)
+
+open Cmdliner
+module Q = Crs_num.Rational
+module T_render = Crs_render.Table
+open Crs_core
+
+let read_instance path =
+  match if path = "-" then Instance.of_string (In_channel.input_all stdin) else Instance.load path with
+  | Ok i -> i
+  | Error msg ->
+    Printf.eprintf "error: cannot read instance %s: %s\n" path msg;
+    exit 1
+
+let instance_arg =
+  let doc = "Instance file (one processor per line; '-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc)
+
+let algorithms : (string * (Instance.t -> Schedule.t)) list =
+  [
+    ("greedy-balance", Crs_algorithms.Greedy_balance.schedule);
+    ("round-robin", Crs_algorithms.Round_robin.schedule);
+    ("uniform", Policy.run Crs_algorithms.Heuristics.uniform);
+    ("proportional", Policy.run Crs_algorithms.Heuristics.proportional);
+    ("staircase", Policy.run Crs_algorithms.Heuristics.staircase);
+    ( "fewest-remaining-first",
+      Policy.run Crs_algorithms.Heuristics.fewest_remaining_first );
+    ( "largest-requirement-first",
+      Policy.run Crs_algorithms.Heuristics.largest_requirement_first );
+    ( "smallest-requirement-first",
+      Policy.run Crs_algorithms.Heuristics.smallest_requirement_first );
+    ("optimal", Crs_algorithms.Solver.optimal_schedule);
+  ]
+
+let algo_conv = Arg.enum (List.map (fun (n, f) -> (n, (n, f))) algorithms)
+
+let algo_arg =
+  let doc =
+    "Algorithm: " ^ String.concat ", " (List.map fst algorithms) ^ "."
+  in
+  Arg.(
+    value
+    & opt algo_conv ("greedy-balance", Crs_algorithms.Greedy_balance.schedule)
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let family =
+    let doc =
+      "Family: uniform, heavy-tailed, balanced, rr-worst (Fig. 3), \
+       gb-worst (Fig. 5), figure1, figure2."
+    in
+    Arg.(value & opt string "uniform" & info [ "f"; "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let m = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Number of processors.") in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Jobs per processor (or family size parameter).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let granularity =
+    Arg.(value & opt int 20 & info [ "granularity" ] ~doc:"Requirement grid 1/g.")
+  in
+  let run family m n seed granularity =
+    let st = Random.State.make [| seed |] in
+    let spec =
+      { Crs_generators.Random_gen.default_spec with m; jobs_min = n; jobs_max = n; granularity }
+    in
+    let instance =
+      match family with
+      | "uniform" -> Crs_generators.Random_gen.instance ~spec st
+      | "heavy-tailed" -> Crs_generators.Random_gen.heavy_tailed ~spec st
+      | "balanced" -> Crs_generators.Random_gen.balanced_load ~spec st
+      | "rr-worst" -> Crs_generators.Adversarial.round_robin_family ~n
+      | "gb-worst" -> Crs_generators.Adversarial.greedy_balance_family ~m ~blocks:n ()
+      | "figure1" -> Crs_generators.Adversarial.figure1
+      | "figure2" -> Crs_generators.Adversarial.figure2
+      | other ->
+        Printf.eprintf "error: unknown family %s\n" other;
+        exit 1
+    in
+    print_string (Instance.to_string instance)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a CRSharing instance.")
+    Term.(const run $ family $ m $ n $ seed $ granularity)
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Render the schedule as a Gantt chart.")
+  in
+  let run path (name, algo) gantt =
+    let instance = read_instance path in
+    let schedule = algo instance in
+    let trace = Execution.run_exn instance schedule in
+    Printf.printf "%s makespan: %d\n" name (Execution.makespan trace);
+    Printf.printf "%s\n" (Crs_render.Gantt.summary trace);
+    if gantt then print_string (Crs_render.Gantt.render trace)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run one algorithm on an instance.")
+    Term.(const run $ instance_arg $ algo_arg $ gantt)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact optimum (small instances only).")
+  in
+  let run path exact =
+    let instance = read_instance path in
+    let lb = Crs_algorithms.Solver.certified_lower_bound instance in
+    let opt = if exact then Some (Crs_algorithms.Solver.optimal_makespan instance) else None in
+    let rows =
+      List.map
+        (fun (name, algo) ->
+          let trace = Execution.run_exn instance (algo instance) in
+          let ms = Execution.makespan trace in
+          let base = match opt with Some o -> o | None -> lb in
+          [
+            name;
+            string_of_int ms;
+            Printf.sprintf "%.3f" (float_of_int ms /. float_of_int (max 1 base));
+            Q.to_string (Execution.unused_capacity trace);
+          ])
+        (List.filter (fun (n, _) -> n <> "optimal" || exact) algorithms)
+    in
+    let denom = if exact then "ratio(opt)" else "ratio(LB)" in
+    print_string
+      (Crs_render.Table.render
+         ~header:[ "algorithm"; "makespan"; denom; "unused" ]
+         rows);
+    Printf.printf "certified lower bound: %d\n" lb;
+    Option.iter (Printf.printf "exact optimum: %d\n") opt
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all algorithms on an instance.")
+    Term.(const run $ instance_arg $ exact)
+
+(* ---- render / graph ---- *)
+
+let render_cmd =
+  let run path (name, algo) =
+    let instance = read_instance path in
+    let trace = Execution.run_exn instance (algo instance) in
+    Printf.printf "algorithm: %s\n%s\n" name (Crs_render.Gantt.summary trace);
+    print_string (Crs_render.Gantt.render trace);
+    print_newline ();
+    print_string (Crs_render.Gantt.render_compact trace)
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render an algorithm's schedule as Gantt charts.")
+    Term.(const run $ instance_arg $ algo_arg)
+
+let graph_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write dot to FILE.")
+  in
+  let run path (_, algo) output =
+    let instance = read_instance path in
+    let trace = Execution.run_exn instance (algo instance) in
+    let graph = Crs_hypergraph.Sched_graph.of_trace trace in
+    Format.printf "%a@." Crs_hypergraph.Sched_graph.pp graph;
+    match output with
+    | Some file ->
+      Crs_render.Dot.save file graph;
+      Printf.printf "wrote %s\n" file
+    | None -> print_string (Crs_render.Dot.of_graph graph)
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Build and print the scheduling hypergraph (Section 3.2).")
+    Term.(const run $ instance_arg $ algo_arg $ output)
+
+(* ---- normalize ---- *)
+
+let normalize_cmd =
+  let run path (name, algo) =
+    let instance = read_instance path in
+    let schedule = algo instance in
+    let normalized = Transform.normalize instance schedule in
+    let before = Execution.run_exn instance schedule in
+    let after = Execution.run_exn instance normalized in
+    Printf.printf "input  (%s): %s\n" name (Crs_render.Gantt.summary before);
+    Printf.printf "output (Lemma 1): %s\n" (Crs_render.Gantt.summary after);
+    print_string (Crs_render.Gantt.render after)
+  in
+  Cmd.v
+    (Cmd.info "normalize"
+       ~doc:"Apply the Lemma 1 transformation (non-wasting, progressive, nested).")
+    Term.(const run $ instance_arg $ algo_arg)
+
+(* ---- reduce ---- *)
+
+let reduce_cmd =
+  let elements =
+    Arg.(
+      non_empty & pos_all int []
+      & info [] ~docv:"ELEMENTS" ~doc:"Partition elements (positive integers).")
+  in
+  let decide = Arg.(value & flag & info [ "decide" ] ~doc:"Also solve exactly and decide.") in
+  let run elements decide =
+    let p = Crs_reduction.Partition.make (Array.of_list elements) in
+    (try
+       let instance = Crs_reduction.Reduce.to_crsharing p in
+       print_string (Instance.to_string instance);
+       if decide then begin
+         let answer =
+           Crs_reduction.Reduce.decide ~exact:Crs_algorithms.Opt_config.makespan p
+         in
+         Printf.printf "partition: %s (optimal makespan %d iff YES)\n"
+           (if answer then "YES" else "NO")
+           Crs_reduction.Reduce.yes_makespan
+       end
+     with Invalid_argument msg ->
+       Printf.eprintf "error: %s\n" msg;
+       exit 1)
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Transform a Partition instance (Theorem 4 gadget).")
+    Term.(const run $ elements $ decide)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let sched_arg =
+    let doc = "Schedule file (one line per step, shares as rationals)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCHEDULE" ~doc)
+  in
+  let run path sched_path =
+    let instance = read_instance path in
+    match Schedule.load sched_path with
+    | Error msg ->
+      Printf.eprintf "error: cannot read schedule: %s\n" msg;
+      exit 1
+    | Ok schedule -> (
+      match Execution.run instance schedule with
+      | Error msg ->
+        Printf.printf "INFEASIBLE: %s\n" msg;
+        exit 1
+      | Ok trace ->
+        if not trace.Execution.completed then begin
+          Printf.printf "INCOMPLETE: schedule does not finish all jobs\n";
+          exit 1
+        end;
+        Printf.printf "%s\n" (Crs_render.Gantt.summary trace);
+        List.iter
+          (fun (name, result) ->
+            match result with
+            | Ok () -> Printf.printf "  %-12s ok\n" name
+            | Error v ->
+              Format.printf "  %-12s VIOLATED (%a)@." name Properties.pp_violation v)
+          (Properties.check_all trace);
+        let lb = Crs_algorithms.Solver.certified_lower_bound instance in
+        Printf.printf "certified lower bound %d => ratio at most %.3f\n" lb
+          (float_of_int (Execution.makespan trace) /. float_of_int (max 1 lb)))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Validate an external schedule against an instance.")
+    Term.(const run $ instance_arg $ sched_arg)
+
+(* ---- bounds ---- *)
+
+let bounds_cmd =
+  let run path =
+    let instance = read_instance path in
+    let gb_trace =
+      Execution.run_exn instance (Crs_algorithms.Greedy_balance.schedule instance)
+    in
+    let graph = Crs_hypergraph.Sched_graph.of_trace gb_trace in
+    let rows =
+      [
+        [ "Observation 1 (total work)"; string_of_int (Lower_bounds.total_work instance) ];
+        [ "job count (max_i n_i)"; string_of_int (Lower_bounds.job_count instance) ];
+        [ "Lemma 5 (components)"; string_of_int (Crs_hypergraph.Bounds.lemma5 graph) ];
+        [ "Lemma 6 (classes)"; string_of_int (Crs_hypergraph.Bounds.lemma6_int graph) ];
+        [
+          "bin-packing relaxation";
+          string_of_int (Crs_binpack.Splittable.crsharing_relaxation_bound instance);
+        ];
+      ]
+    in
+    print_string (T_render.render ~header:[ "lower bound"; "value" ] rows);
+    Printf.printf "GreedyBalance achieves: %d\n" (Execution.makespan gb_trace)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print every certified lower bound for an instance.")
+    Term.(const run $ instance_arg)
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV.") in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write the schedule as SVG.") in
+  let sched_out =
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"FILE" ~doc:"Write the raw schedule matrix.")
+  in
+  let run path (name, algo) csv svg sched_out =
+    let instance = read_instance path in
+    let schedule = algo instance in
+    let trace = Execution.run_exn instance schedule in
+    Printf.printf "%s: %s\n" name (Crs_render.Gantt.summary trace);
+    Option.iter
+      (fun f ->
+        Crs_render.Export.save f (Crs_render.Export.trace_to_csv trace);
+        Printf.printf "wrote %s\n" f)
+      csv;
+    Option.iter
+      (fun f ->
+        Crs_render.Svg.save f trace;
+        Printf.printf "wrote %s\n" f)
+      svg;
+    Option.iter
+      (fun f ->
+        Schedule.save f schedule;
+        Printf.printf "wrote %s\n" f)
+      sched_out
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Run an algorithm and export trace artifacts (CSV/SVG/schedule).")
+    Term.(const run $ instance_arg $ algo_arg $ csv $ svg $ sched_out)
+
+(* ---- gallery ---- *)
+
+let gallery_cmd =
+  let dir =
+    Arg.(value & opt string "gallery" & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let emit name instance schedule =
+      let trace = Execution.run_exn instance schedule in
+      Instance.save (Filename.concat dir (name ^ ".instance")) instance;
+      Schedule.save (Filename.concat dir (name ^ ".schedule")) schedule;
+      Crs_render.Svg.save (Filename.concat dir (name ^ ".svg")) trace;
+      Crs_render.Export.save
+        (Filename.concat dir (name ^ ".csv"))
+        (Crs_render.Export.trace_to_csv trace);
+      if Instance.is_unit_size instance && trace.Execution.completed then begin
+        let graph = Crs_hypergraph.Sched_graph.of_trace trace in
+        Crs_render.Dot.save (Filename.concat dir (name ^ ".dot")) graph
+      end;
+      Printf.printf "%-24s %s\n" name (Crs_render.Gantt.summary trace)
+    in
+    let module A = Crs_generators.Adversarial in
+    emit "figure1-greedy" A.figure1
+      (Policy.run Crs_algorithms.Heuristics.smallest_requirement_first A.figure1);
+    emit "figure2-nested" A.figure2 A.figure2_nested_schedule;
+    emit "figure2-unnested" A.figure2 A.figure2_unnested_schedule;
+    let rr = A.round_robin_family ~n:10 in
+    emit "figure3-roundrobin" rr (Crs_algorithms.Round_robin.schedule rr);
+    emit "figure3-optimal" rr (A.round_robin_family_opt_schedule ~n:10);
+    let p = Crs_reduction.Partition.make [| 1; 2; 3 |] in
+    let gadget = Crs_reduction.Reduce.to_crsharing p in
+    (match Crs_reduction.Partition.solve p with
+    | Some cert ->
+      emit "figure4-yes-witness" gadget (Crs_reduction.Reduce.yes_witness_schedule p cert)
+    | None -> ());
+    let fam = A.greedy_balance_family ~m:3 ~blocks:3 () in
+    emit "figure5-greedybalance" fam (Crs_algorithms.Greedy_balance.schedule fam);
+    emit "figure5-staircase" fam
+      (Policy.run Crs_algorithms.Heuristics.staircase fam);
+    Printf.printf "artifacts written to %s/\n" dir
+  in
+  Cmd.v
+    (Cmd.info "gallery"
+       ~doc:"Regenerate every figure of the paper as SVG/CSV/dot artifacts.")
+    Term.(const run $ dir)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let cores = Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Number of cores.") in
+  let workload =
+    Arg.(value & opt string "mixed-vm" & info [ "w"; "workload" ] ~doc:"Workload: mixed-vm, io-burst, streaming.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc:"Replay a workload trace file instead of a synthetic workload.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write the greedy-balance run as per-tick CSV.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write the greedy-balance run as a timeline SVG.")
+  in
+  let run cores workload seed trace_file csv svg =
+    let st = Random.State.make [| seed |] in
+    let tasks =
+      match trace_file with
+      | Some path -> (
+        match Crs_manycore.Trace_format.load path with
+        | Ok tasks -> tasks
+        | Error msg ->
+          Printf.eprintf "error: cannot read trace %s: %s\n" path msg;
+          exit 1)
+      | None -> (
+        match workload with
+        | "mixed-vm" -> Crs_manycore.Workload.mixed_vm ~cores st
+        | "io-burst" -> Crs_manycore.Workload.io_burst ~cores ~phases:4 ~io_intensity:0.8 st
+        | "streaming" -> Crs_manycore.Workload.streaming ~cores ~length:10.0 st
+        | other ->
+          Printf.eprintf "error: unknown workload %s\n" other;
+          exit 1)
+    in
+    let rows =
+      List.map
+        (fun (p : Crs_manycore.Policy.t) ->
+          let r = Crs_manycore.Engine.run p tasks in
+          p.name :: Crs_manycore.Stats.to_row (Crs_manycore.Stats.of_result tasks r))
+        Crs_manycore.Policy.all
+    in
+    print_string
+      (Crs_render.Table.render ~header:("policy" :: Crs_manycore.Stats.header) rows);
+    if csv <> None || svg <> None then begin
+      let r = Crs_manycore.Engine.run Crs_manycore.Policy.greedy_balance tasks in
+      Option.iter
+        (fun f ->
+          Crs_render.Export.save f (Crs_manycore.Trace_format.run_to_csv r);
+          Printf.printf "wrote %s\n" f)
+        csv;
+      Option.iter
+        (fun f ->
+          Crs_render.Export.save f (Crs_manycore.Trace_format.timeline_svg tasks r);
+          Printf.printf "wrote %s\n" f)
+        svg
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the many-core bus simulator and compare bandwidth policies.")
+    Term.(const run $ cores $ workload $ seed $ trace_file $ csv $ svg)
+
+let main =
+  let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
+  Cmd.group (Cmd.info "crsched" ~version:"1.0.0" ~doc)
+    [
+      gen_cmd; solve_cmd; compare_cmd; render_cmd; graph_cmd; normalize_cmd;
+      reduce_cmd; simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adversarial_gallery.ml: Array Crs_algorithms Crs_core Crs_generators Crs_hypergraph Crs_num Crs_reduction Crs_render Execution Format Instance List Policy Printf String

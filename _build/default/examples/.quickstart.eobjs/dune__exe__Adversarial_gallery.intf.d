@@ -1,0 +1,1 @@
+examples/adversarial_gallery.mli:

@@ -1,0 +1,1 @@
+examples/io_bound_manycore.ml: Array Crs_algorithms Crs_core Crs_manycore Crs_render List Printf Random

@@ -1,0 +1,1 @@
+examples/io_bound_manycore.mli:

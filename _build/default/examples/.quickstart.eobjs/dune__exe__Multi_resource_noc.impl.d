@@ -1,0 +1,1 @@
+examples/multi_resource_noc.ml: Array Crs_extension Crs_num Printf Result

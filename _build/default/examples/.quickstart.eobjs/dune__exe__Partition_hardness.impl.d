@@ -1,0 +1,1 @@
+examples/partition_hardness.ml: Array Crs_algorithms Crs_num Crs_reduction Printf Random String

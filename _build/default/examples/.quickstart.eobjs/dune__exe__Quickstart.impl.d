@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crs_algorithms Crs_core Crs_hypergraph Crs_num Crs_render Execution Format Instance Lower_bounds Printf

@@ -1,0 +1,1 @@
+examples/virtual_machines.ml: Array Crs_manycore Crs_util Hashtbl List Printf Random String

@@ -1,0 +1,1 @@
+lib/algorithms/brute_force.ml: Array Crs_core Crs_num Crs_util Greedy_balance Hashtbl Instance Job List

@@ -1,0 +1,1 @@
+lib/algorithms/brute_force.mli: Crs_core

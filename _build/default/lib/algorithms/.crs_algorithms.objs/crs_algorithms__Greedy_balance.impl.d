@@ -1,0 +1,1 @@
+lib/algorithms/greedy_balance.ml: Crs_core Crs_num Execution Policy

@@ -1,0 +1,1 @@
+lib/algorithms/greedy_balance.mli: Crs_core

@@ -1,0 +1,1 @@
+lib/algorithms/heuristics.ml: Crs_core Crs_num Execution Greedy_balance Policy Round_robin

@@ -1,0 +1,1 @@
+lib/algorithms/heuristics.mli: Crs_core

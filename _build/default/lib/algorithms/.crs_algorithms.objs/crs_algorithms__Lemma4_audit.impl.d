@@ -1,0 +1,1 @@
+lib/algorithms/lemma4_audit.ml: Array Crs_core Crs_num Crs_util Format Hashtbl Instance Job List Option String

@@ -1,0 +1,1 @@
+lib/algorithms/lemma4_audit.mli: Crs_core

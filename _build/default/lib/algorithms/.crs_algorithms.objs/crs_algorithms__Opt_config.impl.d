@@ -1,0 +1,1 @@
+lib/algorithms/opt_config.ml: Array Crs_core Crs_num Crs_util Hashtbl Instance Job List Schedule

@@ -1,0 +1,1 @@
+lib/algorithms/opt_config.mli: Crs_core

@@ -1,0 +1,1 @@
+lib/algorithms/opt_two.mli: Crs_core

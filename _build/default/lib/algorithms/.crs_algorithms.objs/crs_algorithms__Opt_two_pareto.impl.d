@@ -1,0 +1,1 @@
+lib/algorithms/opt_two_pareto.ml: Array Crs_core Crs_num Instance Job List

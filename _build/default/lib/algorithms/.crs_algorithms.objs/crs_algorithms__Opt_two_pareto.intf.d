@@ -1,0 +1,1 @@
+lib/algorithms/opt_two_pareto.mli: Crs_core

@@ -1,0 +1,1 @@
+lib/algorithms/opt_two_pq.ml: Crs_core Crs_num Crs_util Hashtbl Instance Job

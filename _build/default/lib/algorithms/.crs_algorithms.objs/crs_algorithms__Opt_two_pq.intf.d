@@ -1,0 +1,1 @@
+lib/algorithms/opt_two_pq.mli: Crs_core

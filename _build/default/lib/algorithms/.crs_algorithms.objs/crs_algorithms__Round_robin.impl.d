@@ -1,0 +1,1 @@
+lib/algorithms/round_robin.ml: Array Crs_core Crs_num Crs_util Execution Instance Job List Policy Schedule

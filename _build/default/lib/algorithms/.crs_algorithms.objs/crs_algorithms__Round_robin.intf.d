@@ -1,0 +1,1 @@
+lib/algorithms/round_robin.mli: Crs_core

@@ -1,0 +1,1 @@
+lib/algorithms/solver.ml: Brute_force Crs_core Crs_hypergraph Crs_num Execution Greedy_balance Instance Opt_config Opt_two

@@ -1,0 +1,1 @@
+lib/algorithms/solver.mli: Crs_core Crs_num

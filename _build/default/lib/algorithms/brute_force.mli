@@ -1,0 +1,12 @@
+(** Reference exact solver: depth-first branch-and-bound over the same
+    normal-form step space as {!Opt_config} (every step finishes a
+    non-empty job set and invests any leftover in at most one job), but
+    with an independent implementation, search order (DFS instead of
+    layered BFS), memoization and Observation 1 bounding. Used to
+    cross-validate {!Opt_two} and {!Opt_config}; exponential, intended for
+    tiny instances only. *)
+
+val makespan : ?node_limit:int -> Crs_core.Instance.t -> int
+(** Optimal makespan. @raise Invalid_argument on non-unit sizes.
+    @raise Failure when more than [node_limit] (default 2_000_000) search
+    nodes are visited. *)

@@ -1,0 +1,16 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let ordering (state : Policy.state) a b =
+  let ja = Policy.jobs_remaining state a and jb = Policy.jobs_remaining state b in
+  if ja <> jb then ja > jb
+  else begin
+    let wa = Policy.remaining_work state a and wb = Policy.remaining_work state b in
+    Q.(wa > wb)
+  end
+
+let policy = Policy.greedy_fill ~by:ordering
+let schedule instance = Policy.run policy instance
+
+let makespan instance =
+  Execution.makespan (Execution.run_exn instance (schedule instance))

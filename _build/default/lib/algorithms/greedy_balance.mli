@@ -1,0 +1,17 @@
+(** The GreedyBalance algorithm (paper, Section 8.3).
+
+    At each step, processors are prioritized by the number of remaining
+    jobs (more first) and, on ties, by the remaining resource requirement
+    of the active job (larger first); the resource is poured down this
+    priority list. The resulting schedules are non-wasting, progressive
+    and balanced, hence (Theorems 7 and 8) a worst-case
+    [(2 − 1/m)]-approximation, and that ratio is tight. *)
+
+val policy : Crs_core.Policy.t
+
+val schedule : Crs_core.Instance.t -> Crs_core.Schedule.t
+val makespan : Crs_core.Instance.t -> int
+
+val ordering : Crs_core.Policy.state -> int -> int -> bool
+(** The strict priority order used at each step (exposed for the
+    tie-breaking ablation bench). *)

@@ -1,0 +1,36 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let uniform = Policy.uniform
+let proportional = Policy.proportional
+
+let fewest_remaining_first =
+  Policy.greedy_fill ~by:(fun st a b ->
+      let ja = Policy.jobs_remaining st a and jb = Policy.jobs_remaining st b in
+      if ja <> jb then ja < jb else a < b)
+
+let largest_requirement_first =
+  Policy.greedy_fill ~by:(fun st a b ->
+      Q.(Policy.remaining_work st a > Policy.remaining_work st b))
+
+let smallest_requirement_first =
+  Policy.greedy_fill ~by:(fun st a b ->
+      Q.(Policy.remaining_work st a < Policy.remaining_work st b))
+
+let staircase =
+  Policy.greedy_fill ~by:(fun _ a b -> a > b)
+
+let all =
+  [
+    ("greedy-balance", Greedy_balance.policy);
+    ("round-robin", Round_robin.policy);
+    ("uniform", uniform);
+    ("proportional", proportional);
+    ("fewest-remaining-first", fewest_remaining_first);
+    ("largest-requirement-first", largest_requirement_first);
+    ("smallest-requirement-first", smallest_requirement_first);
+    ("staircase", staircase);
+  ]
+
+let makespan_of policy instance =
+  Execution.makespan (Execution.run_exn instance (Policy.run policy instance))

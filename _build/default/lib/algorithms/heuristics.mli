@@ -1,0 +1,38 @@
+(** Baseline heuristics to compare against the paper's algorithms.
+
+    None of these carries a worst-case guarantee; they exist as the
+    "baseline comparators" for the benches (DESIGN.md, S5). All operate on
+    arbitrary instances; approximation measurements in the benches use
+    unit sizes. *)
+
+val uniform : Crs_core.Policy.t
+(** Equal split among active processors (capped per job). *)
+
+val proportional : Crs_core.Policy.t
+(** Split proportional to remaining work of active jobs (capped). *)
+
+val fewest_remaining_first : Crs_core.Policy.t
+(** Greedy fill prioritizing processors with FEWER remaining jobs — the
+    anti-GreedyBalance, typically poor on imbalanced instances. *)
+
+val largest_requirement_first : Crs_core.Policy.t
+(** Greedy fill prioritizing the largest active remaining requirement,
+    ignoring job counts (the Figure 1 example schedule prioritizes the
+    other way; this is the natural bin-packing-flavoured greedy). *)
+
+val smallest_requirement_first : Crs_core.Policy.t
+(** Greedy fill prioritizing the smallest active remaining requirement —
+    finishes as many jobs as possible per step (the schedule drawn in
+    Figure 1a). *)
+
+val staircase : Crs_core.Policy.t
+(** Greedy fill with a fixed priority by processor index, highest index
+    first. On the Theorem 8 block family this realizes the diagonal
+    pipeline the optimal schedule uses (each processor runs one column
+    ahead of the one above it), so it serves as the constructive
+    near-optimal witness in the F5 experiment. *)
+
+val all : (string * Crs_core.Policy.t) list
+(** Named list for sweeps, including GreedyBalance and RoundRobin. *)
+
+val makespan_of : Crs_core.Policy.t -> Crs_core.Instance.t -> int

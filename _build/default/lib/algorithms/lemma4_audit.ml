@@ -1,0 +1,192 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+type config = { j : int array; v : Q.t array }
+(* v = remaining requirement of the active job (invested = full - v). *)
+
+type node = {
+  config : config;
+  (* For each supported processor: (round, core) of the configuration
+     after the round in which it last received resource — everything
+     step-equality of Definition 6 needs. *)
+  last : (int * (int * int array)) list;
+}
+
+type verdict = {
+  layers_checked : int;
+  configurations : int;
+  step_equal_pairs : int;
+  counterexample : string option;
+}
+
+let req instance i k =
+  if k < Instance.n_i instance i then Job.requirement (Instance.job instance i k)
+  else Q.zero
+
+let support instance c =
+  List.filter
+    (fun i ->
+      c.j.(i) < Instance.n_i instance i
+      && Q.(c.v.(i) < req instance i c.j.(i)))
+    (Crs_util.Misc.range (Instance.m instance))
+
+let dominates a b =
+  let m = Array.length a.j in
+  let rec go i =
+    i >= m
+    || ((a.j.(i) > b.j.(i) || (a.j.(i) = b.j.(i) && Q.(a.v.(i) <= b.v.(i)))) && go (i + 1))
+  in
+  go 0
+
+(* Successors in the Lemma 1 normal form (same space as Opt_config). *)
+let successors instance c =
+  let m = Instance.m instance in
+  let actives = List.filter (fun i -> c.j.(i) < Instance.n_i instance i) (Crs_util.Misc.range m) in
+  let result = ref [] in
+  let arr = Array.of_list actives in
+  let k = Array.length arr in
+  for mask = 1 to (1 lsl k) - 1 do
+    let finished = ref [] in
+    let cost = ref Q.zero in
+    for b = 0 to k - 1 do
+      if mask land (1 lsl b) <> 0 then begin
+        finished := arr.(b) :: !finished;
+        cost := Q.add !cost c.v.(arr.(b))
+      end
+    done;
+    if Q.(!cost <= one) then begin
+      let leftover = Q.sub Q.one !cost in
+      let others = List.filter (fun i -> not (List.mem i !finished)) actives in
+      let emit partial =
+        let j = Array.copy c.j and v = Array.copy c.v in
+        List.iter
+          (fun i ->
+            j.(i) <- c.j.(i) + 1;
+            v.(i) <- req instance i j.(i))
+          !finished;
+        (match partial with
+        | None -> ()
+        | Some p -> v.(p) <- Q.sub c.v.(p) leftover);
+        let received = !finished @ (match partial with Some p -> [ p ] | None -> []) in
+        result := ({ j; v }, received) :: !result
+      in
+      if others = [] || Q.is_zero leftover then emit None
+      else
+        List.iter
+          (fun p -> if Q.(c.v.(p) > leftover) then emit (Some p))
+          others
+    end
+  done;
+  !result
+
+let audit ?(nested = true) instance =
+  if not (Instance.is_unit_size instance) then
+    invalid_arg "Lemma4_audit: unit-size jobs only";
+  let m = Instance.m instance in
+  let initial =
+    { config = { j = Array.make m 0; v = Array.init m (fun i -> req instance i 0) };
+      last = [] }
+  in
+  let is_final c =
+    List.for_all (fun i -> c.j.(i) >= Instance.n_i instance i) (Crs_util.Misc.range m)
+  in
+  let layers_checked = ref 0 in
+  let configurations = ref 1 in
+  let pairs = ref 0 in
+  let counterexample = ref None in
+  let max_configs = 50_000 in
+  let rec grow layer round =
+    if List.exists (fun n -> is_final n.config) layer || layer = [] then ()
+    else begin
+      incr layers_checked;
+      let next = Hashtbl.create 256 in
+      List.iter
+        (fun node ->
+          List.iter
+            (fun (cfg, received) ->
+              let supp = support instance cfg in
+              (* Nested (+ progressive) schedules keep at most one "open"
+                 (invested, unfinished) job at any time; the paper's
+                 Algorithm 2 enumerates only those. *)
+              if nested && List.length supp > 1 then ()
+              else begin
+              let last =
+                List.filter_map
+                  (fun i ->
+                    if List.mem i received then Some (i, (round, Array.copy cfg.j))
+                    else List.assoc_opt i node.last |> Option.map (fun e -> (i, e)))
+                  supp
+              in
+              let key =
+                ( Array.to_list cfg.j,
+                  List.map (fun (i, v) -> (i, Q.to_string v)) (List.combine supp (List.map (fun i -> cfg.v.(i)) supp)),
+                  List.map (fun (i, (r, core)) -> (i, r, Array.to_list core)) last )
+              in
+              if not (Hashtbl.mem next key) then begin
+                Hashtbl.replace next key { config = cfg; last };
+                incr configurations
+              end
+              end)
+            (successors instance node.config))
+        layer;
+      if !configurations > max_configs then
+        failwith "Lemma4_audit: instance too large";
+      let nodes = Hashtbl.fold (fun _ n acc -> n :: acc) next [] in
+      (* Group by extended step-equality: same core, same support, and
+         step-equal last-receipt configurations per supported processor. *)
+      let groups = Hashtbl.create 64 in
+      List.iter
+        (fun n ->
+          let supp = support instance n.config in
+          let gkey =
+            ( Array.to_list n.config.j,
+              supp,
+              List.map
+                (fun i ->
+                  match List.assoc_opt i n.last with
+                  | Some (r, core) -> (i, r, Array.to_list core)
+                  | None -> (i, -1, []))
+                supp )
+          in
+          let prev = try Hashtbl.find groups gkey with Not_found -> [] in
+          Hashtbl.replace groups gkey (n :: prev))
+        nodes;
+      Hashtbl.iter
+        (fun _ members ->
+          let rec all_pairs = function
+            | [] | [ _ ] -> ()
+            | a :: rest ->
+              List.iter
+                (fun b ->
+                  incr pairs;
+                  if
+                    (not (dominates a.config b.config))
+                    && not (dominates b.config a.config)
+                  then
+                    counterexample :=
+                      Some
+                        (Format.asprintf
+                           "round %d: step-equal extended configurations with \
+                            incomparable remainders (%s) vs (%s)"
+                           round
+                           (String.concat ","
+                              (Array.to_list (Array.map Q.to_string a.config.v)))
+                           (String.concat ","
+                              (Array.to_list (Array.map Q.to_string b.config.v)))))
+                rest;
+              all_pairs rest
+          in
+          all_pairs members)
+        groups;
+      grow nodes (round + 1)
+    end
+  in
+  grow [ initial ] 1;
+  {
+    layers_checked = !layers_checked;
+    configurations = !configurations;
+    step_equal_pairs = !pairs;
+    counterexample = !counterexample;
+  }
+
+let holds ?nested instance = (audit ?nested instance).counterexample = None

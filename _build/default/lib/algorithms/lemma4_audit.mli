@@ -1,0 +1,49 @@
+(** Executable audit of the paper's Lemma 4 (Section 7).
+
+    Definition 6 attaches to each configuration
+    [γ = (t, j⃗, v⃗)] its {e extended configuration}
+    [E(γ) = (γ, (i, γ_i)_{i ∈ supp γ})], where [supp γ] is the set of
+    processors whose active job is partially processed and [γ_i] is the
+    configuration right after the round in which processor [i] last
+    received resource. Lemma 4 claims: {e if two extended configurations
+    are step-equal, one dominates the other} — the counting argument
+    behind Theorem 6's polynomial bound.
+
+    This module re-runs the layered enumeration {e without} domination
+    pruning, tracking every configuration's extended part, groups each
+    layer by step-equality of the extended configurations, and checks the
+    claimed domination pairwise. Any violating pair is returned as a
+    counterexample (none have ever been found; see EXPERIMENTS.md). *)
+
+type verdict = {
+  layers_checked : int;
+  configurations : int;  (** total enumerated (no pruning) *)
+  step_equal_pairs : int;
+      (** DISTINCT extended configurations that are step-equal. The
+          proof of Lemma 4 in fact concludes step-equal extended
+          configurations are {e identical}, so the strong form predicts
+          0 here; any pair that does appear is additionally checked for
+          mutual domination (the lemma's stated form). *)
+  counterexample : string option;
+      (** description of a violating pair, if Lemma 4 failed *)
+}
+
+val audit : ?nested:bool -> Crs_core.Instance.t -> verdict
+(** [nested] (default true) restricts the enumeration to nested
+    schedules, as the paper's Algorithm 2 does — equivalently, at most
+    one invested-and-unfinished ("open") job at any time.
+
+    {b Reproduction finding (E4).} With [nested:false] the enumeration
+    also visits unnested schedules (still non-wasting and progressive),
+    and there Lemma 4 is {e false}: step-equal extended configurations
+    with incomparable remainder vectors exist. The pinned witness
+    (instance [7/8 / 10/11 1 / 1/3 2/3]) reaches, after three rounds and
+    with identical cores, supports and last-receipt rounds, both
+    remainders (0, 1/3, 119/264) and (0, 8/33, 13/24). The nestedness
+    hypothesis — used only implicitly in the paper's proof — is
+    therefore essential to the Theorem 6 counting argument.
+
+    @raise Invalid_argument on non-unit sizes. Exponential — tiny
+    instances only. *)
+
+val holds : ?nested:bool -> Crs_core.Instance.t -> bool

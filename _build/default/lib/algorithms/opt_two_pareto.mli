@@ -1,0 +1,19 @@
+(** Pareto-set variant of {!Opt_two}, used to audit the paper's Lemma 3.
+
+    The paper argues (Lemma 3) that per DP cell it suffices to keep the
+    single lexicographically best pair [(t, r)] — earliest completion
+    count, then smallest combined remainder. The domination argument
+    compares states at equal times, so keeping just one pair across
+    *different* times is the part that deserves scrutiny. This solver
+    keeps the full Pareto frontier of [(t, r)] pairs per cell instead
+    (smaller [t] or smaller [r] both non-dominated) and therefore cannot
+    lose an optimal trajectory. Agreement with {!Opt_two} on randomized
+    instances (property-tested) is the executable confirmation of
+    Lemma 3's sufficiency. *)
+
+val makespan : Crs_core.Instance.t -> int
+(** @raise Invalid_argument unless two processors, unit sizes. *)
+
+val frontier_sizes : Crs_core.Instance.t -> int * float
+(** (max, mean) number of Pareto points per reachable cell — measures
+    how much Lemma 3 actually saves. *)

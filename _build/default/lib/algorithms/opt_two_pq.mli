@@ -1,0 +1,16 @@
+(** Priority-queue variant of {!Opt_two} (paper, last paragraph of
+    Section 6).
+
+    Instead of sweeping the full [(n1+1)×(n2+1)] table diagonal by
+    diagonal, intermediate states are kept in a priority queue ordered by
+    index sum [i1 + i2] and only reachable states are ever expanded. Same
+    answers as {!Opt_two} (asserted in tests); usually faster because most
+    index pairs are unreachable — e.g. after a [Finish_both] step from
+    [(0,0)], no state [(0, j)] or [(i, 0)] with [i, j ≥ 1] is ever
+    touched. The ablation bench measures the actual gap. *)
+
+val makespan : Crs_core.Instance.t -> int
+(** @raise Invalid_argument unless two processors, unit sizes. *)
+
+val states_expanded : Crs_core.Instance.t -> int
+(** Number of distinct states popped; for the ablation bench. *)

@@ -1,0 +1,65 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+(* Current phase (0-based job index) = smallest active job index; the
+   round-robin discipline keeps all processors within one phase. *)
+let current_phase (state : Policy.state) =
+  let m = Instance.m state.instance in
+  let phase = ref max_int in
+  for i = 0 to m - 1 do
+    if Policy.active state i then phase := min !phase state.next_job.(i)
+  done;
+  !phase
+
+let policy state =
+  let phase = current_phase state in
+  Policy.greedy_fill
+    ~by:(fun st a b ->
+      (* Only phase members may receive resource: order them before
+         everyone else, then by processor id. Non-members end up sorted
+         after all members, and greedy_fill would still feed them, so we
+         zero them below. *)
+      let mem i = st.Policy.next_job.(i) = phase in
+      match (mem a, mem b) with
+      | true, false -> true
+      | false, true -> false
+      | _ -> a < b)
+    state
+  |> fun shares ->
+  Array.mapi
+    (fun i s -> if Policy.active state i && state.Policy.next_job.(i) = phase then s else Q.zero)
+    shares
+
+let schedule instance = Policy.run policy instance
+
+let makespan instance =
+  Execution.makespan (Execution.run_exn instance (schedule instance))
+
+let phase_of_step instance t =
+  let sched = schedule instance in
+  let rec walk state step =
+    if step = t then current_phase state + 1
+    else walk (Policy.advance state (Schedule.row sched (step - 1))) (step + 1)
+  in
+  if t < 1 || t > Schedule.horizon sched then
+    invalid_arg "Round_robin.phase_of_step: step out of range";
+  walk (Policy.initial instance) 1
+
+let predicted_makespan_unit instance =
+  if not (Instance.is_unit_size instance) then
+    invalid_arg "Round_robin.predicted_makespan_unit: unit sizes only";
+  let n = Instance.n_max instance in
+  let total = ref 0 in
+  for j = 1 to n do
+    let phase_requirement =
+      Q.sum
+        (List.filter_map
+           (fun i ->
+             if Instance.n_i instance i >= j then
+               Some (Job.requirement (Instance.job instance i (j - 1)))
+             else None)
+           (Crs_util.Misc.range (Instance.m instance)))
+    in
+    total := !total + max 1 (Q.ceil_int phase_requirement)
+  done;
+  !total

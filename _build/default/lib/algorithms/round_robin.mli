@@ -1,0 +1,25 @@
+(** The RoundRobin algorithm (paper, Section 4.2).
+
+    Works in phases [j = 1 .. n]: during phase [j] only the [j]-th jobs
+    are processed; the resource is handed out greedily in processor order
+    among the processors that have not finished their [j]-th job. Resource
+    left over at the end of a phase is wasted. Theorem 3: worst-case
+    approximation ratio exactly 2 (for unit-size jobs). *)
+
+val policy : Crs_core.Policy.t
+
+val schedule : Crs_core.Instance.t -> Crs_core.Schedule.t
+(** Run to completion. Works for arbitrary job sizes; the Theorem 3
+    guarantee is stated for unit sizes. *)
+
+val makespan : Crs_core.Instance.t -> int
+
+val phase_of_step : Crs_core.Instance.t -> int -> int
+(** For analysis/tests: the phase the RoundRobin schedule is in at a given
+    1-based step. *)
+
+val predicted_makespan_unit : Crs_core.Instance.t -> int
+(** The closed form from the proof of Theorem 3 for unit-size jobs:
+    [Σ_j ⌈Σ_{i ∈ M_j} r_ij⌉], with phases of zero total requirement still
+    costing one step (a processor finishes at most one job per step).
+    @raise Invalid_argument on non-unit sizes. *)

@@ -1,0 +1,35 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+type exact_method = Dp_two | Config_enum | Dfs_bnb
+
+let optimal_makespan ?method_ instance =
+  let method_ =
+    match method_ with
+    | Some m -> m
+    | None -> if Instance.m instance = 2 then Dp_two else Config_enum
+  in
+  match method_ with
+  | Dp_two -> Opt_two.makespan instance
+  | Config_enum -> Opt_config.makespan instance
+  | Dfs_bnb -> Brute_force.makespan instance
+
+let optimal_schedule instance =
+  if Instance.m instance = 2 then (Opt_two.solve instance).schedule
+  else (Opt_config.solve instance).schedule
+
+let ratio ~algorithm instance =
+  let opt = optimal_makespan instance in
+  let alg = algorithm instance in
+  if opt = 0 then Q.one else Q.of_ints alg opt
+
+let certified_lower_bound instance =
+  let schedule = Greedy_balance.schedule instance in
+  let trace = Execution.run_exn instance schedule in
+  let graph = Crs_hypergraph.Sched_graph.of_trace trace in
+  Crs_hypergraph.Bounds.combined graph instance
+
+let ratio_upper_bound instance =
+  let gb = Greedy_balance.makespan instance in
+  let lb = certified_lower_bound instance in
+  if lb = 0 then Q.one else Q.of_ints gb lb

@@ -1,0 +1,26 @@
+(** Facade dispatching to the best available exact solver and computing
+    approximation ratios. *)
+
+type exact_method = Dp_two | Config_enum | Dfs_bnb
+
+val optimal_makespan : ?method_:exact_method -> Crs_core.Instance.t -> int
+(** Exact optimum. Default method: {!Opt_two} for [m = 2], {!Opt_config}
+    otherwise. @raise Invalid_argument on non-unit sizes. *)
+
+val optimal_schedule : Crs_core.Instance.t -> Crs_core.Schedule.t
+(** A witness optimal schedule ({!Opt_two} for two processors,
+    {!Opt_config} otherwise). *)
+
+val ratio : algorithm:(Crs_core.Instance.t -> int) -> Crs_core.Instance.t -> Crs_num.Rational.t
+(** [algorithm makespan / optimal makespan]; 1 when both are 0. *)
+
+val certified_lower_bound : Crs_core.Instance.t -> int
+(** Cheap lower bound without exact solving: runs GreedyBalance, builds
+    its hypergraph and takes the strongest of Observation 1, job count,
+    Lemma 5, Lemma 6. Valid because GreedyBalance schedules are
+    non-wasting and balanced. *)
+
+val ratio_upper_bound : Crs_core.Instance.t -> Crs_num.Rational.t
+(** GreedyBalance makespan divided by {!certified_lower_bound}: a
+    certified upper bound on its true approximation ratio on this
+    instance, computable without exact solving. *)

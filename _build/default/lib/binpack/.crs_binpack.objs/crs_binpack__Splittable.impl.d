@@ -1,0 +1,1 @@
+lib/binpack/splittable.ml: Array Crs_core Crs_num Crs_util List Printf

@@ -1,0 +1,1 @@
+lib/binpack/splittable.mli: Crs_core Crs_num

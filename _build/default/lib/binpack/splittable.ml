@@ -1,0 +1,131 @@
+module Q = Crs_num.Rational
+
+type t = { k : int; sizes : Q.t array }
+
+let make ~k sizes =
+  if k < 1 then invalid_arg "Splittable.make: k must be >= 1";
+  if Array.length sizes = 0 then invalid_arg "Splittable.make: no items";
+  Array.iter
+    (fun s -> if Q.(s <= zero) then invalid_arg "Splittable.make: sizes must be positive")
+    sizes;
+  { k; sizes = Array.copy sizes }
+
+type packing = { bins : (int * Q.t) list list }
+
+let num_bins p = List.length p.bins
+
+let check t p =
+  let exception Bad of string in
+  let collected = Array.make (Array.length t.sizes) Q.zero in
+  try
+    List.iteri
+      (fun b bin ->
+        if List.length bin > t.k then
+          raise (Bad (Printf.sprintf "bin %d holds %d > k parts" b (List.length bin)));
+        let fill = Q.sum (List.map snd bin) in
+        if Q.(fill > one) then
+          raise (Bad (Printf.sprintf "bin %d overfull: %s" b (Q.to_string fill)));
+        List.iter
+          (fun (i, part) ->
+            if i < 0 || i >= Array.length t.sizes then
+              raise (Bad (Printf.sprintf "bin %d references item %d" b i));
+            if Q.(part <= zero) then
+              raise (Bad (Printf.sprintf "bin %d has a non-positive part" b));
+            collected.(i) <- Q.add collected.(i) part)
+          bin)
+      p.bins;
+    Array.iteri
+      (fun i total ->
+        if not (Q.equal total t.sizes.(i)) then
+          raise
+            (Bad
+               (Printf.sprintf "item %d packed %s of %s" i (Q.to_string total)
+                  (Q.to_string t.sizes.(i)))))
+      collected;
+    Ok ()
+  with Bad msg -> Error msg
+
+let next_fit_order t order =
+  (* One open bin: (parts so far, used capacity). Splitting an item never
+     leaves capacity unused in a closed bin unless the part budget closed
+     it early. *)
+  let bins = ref [] in
+  let cur = ref [] in
+  let cur_fill = ref Q.zero in
+  let cur_parts = ref 0 in
+  let close () =
+    if !cur <> [] then begin
+      bins := List.rev !cur :: !bins;
+      cur := [];
+      cur_fill := Q.zero;
+      cur_parts := 0
+    end
+  in
+  List.iter
+    (fun i ->
+      let remaining = ref t.sizes.(i) in
+      while Q.(!remaining > zero) do
+        if !cur_parts >= t.k || Q.(Q.sub one !cur_fill <= zero) then close ();
+        let room = Q.sub Q.one !cur_fill in
+        let part = Q.min room !remaining in
+        cur := (i, part) :: !cur;
+        cur_fill := Q.add !cur_fill part;
+        incr cur_parts;
+        remaining := Q.sub !remaining part
+      done)
+    order;
+  close ();
+  { bins = List.rev !bins }
+
+let next_fit t = next_fit_order t (Crs_util.Misc.range (Array.length t.sizes))
+
+let next_fit_decreasing t =
+  let order =
+    List.sort
+      (fun a b -> Q.compare t.sizes.(b) t.sizes.(a))
+      (Crs_util.Misc.range (Array.length t.sizes))
+  in
+  next_fit_order t order
+
+let material_bound t = Q.ceil_int (Q.sum_array t.sizes)
+
+let cardinality_bound t =
+  let n = Array.length t.sizes in
+  (n + t.k - 1) / t.k
+
+let next_fit_guarantee ~k = Q.sub Q.two (Q.of_ints 1 k)
+
+let lower_bound t =
+  let nf = num_bins (next_fit t) in
+  let certified =
+    (* OPT >= NF / (2 - 1/k), and OPT is integral. *)
+    Q.ceil_int (Q.div (Q.of_int nf) (next_fit_guarantee ~k:t.k))
+  in
+  max (max (material_bound t) (cardinality_bound t)) certified
+
+let interleave_family ~n =
+  if n < 1 then invalid_arg "Splittable.interleave_family: n >= 1";
+  let big = Q.of_ints 3 5 and small = Q.of_ints 1 5 in
+  make ~k:2 (Array.init (2 * n) (fun i -> if i < n then big else small))
+
+let interleave_family_opt ~n = n
+
+let of_crsharing instance =
+  let works = ref [] in
+  for i = Crs_core.Instance.m instance - 1 downto 0 do
+    Array.iter
+      (fun job ->
+        let w = Crs_core.Job.work job in
+        if Q.(w > zero) then works := w :: !works)
+      (Crs_core.Instance.jobs_on instance i)
+  done;
+  if !works = [] then
+    invalid_arg "Splittable.of_crsharing: instance has no positive-work jobs"
+  else make ~k:(Crs_core.Instance.m instance) (Array.of_list !works)
+
+let crsharing_relaxation_bound instance =
+  (* Degenerate all-zero-work instances still need one step per job on
+     the longest queue; the combinatorial job-count bound covers that, so
+     here zero work maps to the trivial bound 0. *)
+  if Q.is_zero (Crs_core.Instance.total_work instance) then 0
+  else lower_bound (of_crsharing instance)

@@ -1,0 +1,82 @@
+(** Packing splittable items with cardinality constraints (paper,
+    Section 2; Chung, Graham, Mao, Varghese 2006; Epstein & van Stee
+    2011/2012).
+
+    Bins have capacity 1 and may hold at most [k] item {e parts}; items
+    have positive (possibly > 1) sizes and may be split arbitrarily. The
+    objective is to minimize the number of bins.
+
+    The paper presents this problem as the closest relative of
+    CRSharing: "understanding the number of processors as cardinality
+    constraints and the bins with a limited capacity as time steps" —
+    but with free job-to-processor assignment and free preemption. That
+    makes it a {e relaxation}: see {!crsharing_relaxation_bound}. *)
+
+type t = private { k : int; sizes : Crs_num.Rational.t array }
+
+val make : k:int -> Crs_num.Rational.t array -> t
+(** @raise Invalid_argument if [k < 1], no items, or a non-positive
+    size. *)
+
+(** A packing assigns each bin a list of (item index, part size). *)
+type packing = { bins : (int * Crs_num.Rational.t) list list }
+
+val num_bins : packing -> int
+
+val check : t -> packing -> (unit, string) result
+(** Validates capacity, cardinality, and that parts of each item sum to
+    its size. *)
+
+(** {1 Algorithms} *)
+
+val next_fit : t -> packing
+(** The NextFit algorithm analyzed by Chung et al. and Epstein & van
+    Stee: one open bin; each item is poured into it and split to a fresh
+    bin whenever capacity runs out or the part budget [k] is exhausted.
+    Absolute approximation factor exactly [2 − 1/k]. *)
+
+val next_fit_decreasing : t -> packing
+(** Ablation: NextFit after sorting items by decreasing size. *)
+
+(** {1 Bounds} *)
+
+val material_bound : t -> int
+(** [⌈Σ sizes⌉]: capacity alone. *)
+
+val cardinality_bound : t -> int
+(** [⌈n / k⌉]: every item needs at least one part. *)
+
+val lower_bound : t -> int
+(** Strongest of: the two combinatorial bounds above and the certified
+    bound [⌈NextFit / (2 − 1/k)⌉] derived from the Epstein–van Stee
+    absolute factor. *)
+
+val next_fit_guarantee : k:int -> Crs_num.Rational.t
+(** [2 − 1/k]. *)
+
+(** {1 Adversarial family} *)
+
+val interleave_family : n:int -> t
+(** [k = 2]: [n] items of size 3/5 followed by [n] of size 1/5. The
+    optimum pairs one of each per bin (exactly [n] bins: the part count
+    forces [≥ n] and the pairing achieves it with all sums 4/5). NextFit,
+    processing the sizes in the given order, chains remainders through
+    cardinality-closed bins and needs ≈ 7n/6 — a concrete, certified gap
+    below the 2 − 1/k worst-case factor (whose exact tight family is more
+    delicate; see Epstein & van Stee). *)
+
+val interleave_family_opt : n:int -> int
+(** [n], with the pairing witness packing. *)
+
+(** {1 Bridge to CRSharing} *)
+
+val of_crsharing : Crs_core.Instance.t -> t
+(** Items = the works [r_ij·p_ij] of all (positive-work) jobs,
+    cardinality [k = m]: dropping the job-to-processor binding, the
+    order, and the one-job-per-step rule yields exactly this problem, so
+    any CRSharing schedule with makespan [T] induces a packing into [T]
+    bins. @raise Invalid_argument when every job has zero work. *)
+
+val crsharing_relaxation_bound : Crs_core.Instance.t -> int
+(** [lower_bound (of_crsharing instance)] — a certified lower bound on
+    the CRSharing optimum through the relaxation. *)

@@ -1,0 +1,1 @@
+lib/crsharing/execution.ml: Array Crs_num Instance Job List Printf Schedule

@@ -1,0 +1,1 @@
+lib/crsharing/execution.mli: Crs_num Instance Schedule

@@ -1,0 +1,1 @@
+lib/crsharing/instance.ml: Array Buffer Crs_num Format Fun In_channel Job List String

@@ -1,0 +1,1 @@
+lib/crsharing/instance.mli: Crs_num Format Job

@@ -1,0 +1,1 @@
+lib/crsharing/job.ml: Crs_num Format

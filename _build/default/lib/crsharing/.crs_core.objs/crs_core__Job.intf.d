@@ -1,0 +1,1 @@
+lib/crsharing/job.mli: Crs_num Format

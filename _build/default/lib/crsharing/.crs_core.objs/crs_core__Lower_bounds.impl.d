@@ -1,0 +1,1 @@
+lib/crsharing/lower_bounds.ml: Array Crs_num Crs_util Instance Job List

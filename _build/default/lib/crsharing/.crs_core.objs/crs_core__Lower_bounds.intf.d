@@ -1,0 +1,1 @@
+lib/crsharing/lower_bounds.mli: Instance

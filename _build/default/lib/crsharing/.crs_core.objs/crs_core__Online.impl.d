@@ -1,0 +1,1 @@
+lib/crsharing/online.ml: Array Crs_num Crs_util Execution Instance List Policy

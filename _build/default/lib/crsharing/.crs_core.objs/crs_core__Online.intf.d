@@ -1,0 +1,1 @@
+lib/crsharing/online.mli: Crs_num Instance Policy

@@ -1,0 +1,1 @@
+lib/crsharing/policy.ml: Array Crs_num Crs_util Instance Job List Schedule

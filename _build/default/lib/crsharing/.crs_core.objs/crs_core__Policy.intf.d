@@ -1,0 +1,1 @@
+lib/crsharing/policy.mli: Crs_num Instance Schedule

@@ -1,0 +1,1 @@
+lib/crsharing/properties.ml: Array Crs_num Crs_util Execution Format Instance List Option Printf Result

@@ -1,0 +1,1 @@
+lib/crsharing/properties.mli: Execution Format

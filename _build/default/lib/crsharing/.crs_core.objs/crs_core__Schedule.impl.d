@@ -1,0 +1,1 @@
+lib/crsharing/schedule.ml: Array Buffer Crs_num Format Fun In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/crsharing/schedule.mli: Crs_num Format

@@ -1,0 +1,1 @@
+lib/crsharing/transform.ml: Array Crs_num Crs_util Execution Format Instance Job Lazy List Printf Properties Result Schedule String Sys

@@ -1,0 +1,1 @@
+lib/crsharing/transform.mli: Instance Schedule

@@ -1,0 +1,187 @@
+module Q = Crs_num.Rational
+
+type step = {
+  shares : Q.t array;
+  active : int option array;
+  progress : Q.t array;
+  consumed : Q.t array;
+  finished : (int * int) list;
+}
+
+type trace = {
+  instance : Instance.t;
+  schedule : Schedule.t;
+  steps : step array;
+  start_step : int array array;
+  completion_step : int array array;
+  completed : bool;
+}
+
+let run instance schedule =
+  match Schedule.check_feasible schedule with
+  | Error msg -> Error msg
+  | Ok () ->
+    if Schedule.m schedule <> Instance.m instance then
+      Error
+        (Printf.sprintf "schedule is for %d processors, instance has %d"
+           (Schedule.m schedule) (Instance.m instance))
+    else begin
+      let m = Instance.m instance in
+      let horizon = Schedule.horizon schedule in
+      let next = Array.make m 0 in
+      (* Remaining volume of the active job, in p-units. *)
+      let remaining = Array.make m Q.zero in
+      for i = 0 to m - 1 do
+        if Instance.n_i instance i > 0 then
+          remaining.(i) <- Job.size (Instance.job instance i 0)
+      done;
+      let start_step = Array.init m (fun i -> Array.make (Instance.n_i instance i) 0) in
+      let completion_step = Array.init m (fun i -> Array.make (Instance.n_i instance i) 0) in
+      let steps = ref [] in
+      for t = 0 to horizon - 1 do
+        let shares = Schedule.row schedule t in
+        let active = Array.make m None in
+        let progress = Array.make m Q.zero in
+        let consumed = Array.make m Q.zero in
+        let finished = ref [] in
+        for i = 0 to m - 1 do
+          if next.(i) < Instance.n_i instance i then begin
+            let j = next.(i) in
+            active.(i) <- Some j;
+            let r = Job.requirement (Instance.job instance i j) in
+            (* Speed = min(share/r, 1); requirement 0 means full speed. *)
+            let speed =
+              if Q.is_zero r then Q.one else Q.min (Q.div shares.(i) r) Q.one
+            in
+            let p = Q.min speed remaining.(i) in
+            if Q.(p > zero) then begin
+              if start_step.(i).(j) = 0 then start_step.(i).(j) <- t + 1;
+              progress.(i) <- p;
+              consumed.(i) <- Q.mul p r;
+              remaining.(i) <- Q.sub remaining.(i) p;
+              if Q.is_zero remaining.(i) then begin
+                completion_step.(i).(j) <- t + 1;
+                (* A zero-size remainder can only occur through completion;
+                   job sizes are positive. *)
+                finished := (i, j) :: !finished;
+                next.(i) <- j + 1;
+                if next.(i) < Instance.n_i instance i then
+                  remaining.(i) <- Job.size (Instance.job instance i next.(i))
+              end
+            end
+          end
+        done;
+        steps :=
+          { shares; active; progress; consumed; finished = List.rev !finished }
+          :: !steps
+      done;
+      let completed =
+        Array.for_all (fun (i : int) -> next.(i) >= Instance.n_i instance i)
+          (Array.init m (fun i -> i))
+      in
+      Ok
+        {
+          instance;
+          schedule;
+          steps = Array.of_list (List.rev !steps);
+          start_step;
+          completion_step;
+          completed;
+        }
+    end
+
+let run_exn instance schedule =
+  match run instance schedule with
+  | Ok t -> t
+  | Error msg -> failwith ("Execution.run: " ^ msg)
+
+let makespan_opt trace =
+  if not trace.completed then None
+  else
+    Some
+      (Array.fold_left
+         (fun acc row -> Array.fold_left max acc row)
+         0 trace.completion_step)
+
+let makespan trace =
+  match makespan_opt trace with
+  | Some v -> v
+  | None -> failwith "Execution.makespan: schedule does not finish all jobs"
+
+let active_jobs trace t =
+  if t < 1 || t > Array.length trace.steps then
+    invalid_arg "Execution.active_jobs: step out of range";
+  let step = trace.steps.(t - 1) in
+  let acc = ref [] in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | Some j -> acc := (i, j) :: !acc
+      | None -> ())
+    step.active;
+  List.rev !acc
+
+let jobs_remaining trace t =
+  if t < 1 || t > Array.length trace.steps + 1 then
+    invalid_arg "Execution.jobs_remaining: step out of range";
+  let m = Instance.m trace.instance in
+  let n = Array.init m (fun i -> Instance.n_i trace.instance i) in
+  (* Subtract the jobs finished strictly before step t. *)
+  for s = 0 to min (t - 2) (Array.length trace.steps - 1) do
+    List.iter (fun (i, _) -> n.(i) <- n.(i) - 1) trace.steps.(s).finished
+  done;
+  n
+
+let wasted trace =
+  Array.fold_left
+    (fun acc step ->
+      Q.add acc (Q.sub (Q.sum_array step.shares) (Q.sum_array step.consumed)))
+    Q.zero trace.steps
+
+let unused_capacity trace =
+  let last =
+    Array.fold_left (fun acc row -> Array.fold_left max acc row) 0
+      trace.completion_step
+  in
+  let total = ref Q.zero in
+  for t = 0 to min last (Array.length trace.steps) - 1 do
+    total := Q.add !total (Q.sub Q.one (Q.sum_array trace.steps.(t).consumed))
+  done;
+  !total
+
+let verify_completion_times trace =
+  let exception Bad of string in
+  let instance = trace.instance in
+  try
+    for i = 0 to Instance.m instance - 1 do
+      for j = 0 to Instance.n_i instance i - 1 do
+        let c = trace.completion_step.(i).(j) in
+        if c > 0 then begin
+          let job = Instance.job instance i j in
+          let r = Job.requirement job in
+          if not (Q.is_zero r) then begin
+            (* Alternative interpretation, Eq. (2): accumulate
+               min(R_i(t), r) over steps where (i,j) is active; the first
+               step reaching r·p must be the recorded completion step. *)
+            let target = Job.work job in
+            let acc = ref Q.zero in
+            let reached = ref 0 in
+            Array.iteri
+              (fun t step ->
+                if !reached = 0 && step.active.(i) = Some j then begin
+                  acc := Q.add !acc (Q.min step.shares.(i) r);
+                  if Q.(!acc >= target) then reached := t + 1
+                end)
+              trace.steps;
+            if !reached <> c then
+              raise
+                (Bad
+                   (Printf.sprintf
+                      "job (%d,%d): Eq.(2) completion %d but trace says %d" i j
+                      !reached c))
+          end
+        end
+      done
+    done;
+    Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,65 @@
+(** Executing a schedule against an instance: the model semantics of
+    Section 3.1 / Eq. (1).
+
+    During step [t], processor [i] works on its first unfinished job
+    [(i,j)] (a processor never processes two jobs in one step); with share
+    [R_i(t)] it processes [min(R_i(t)/r_ij, 1)] volume units (jobs with
+    [r_ij = 0] always run at full speed). Resource assigned beyond what
+    the active job can use is wasted. *)
+
+type step = {
+  shares : Crs_num.Rational.t array;  (** assignment [R_i(t)] *)
+  active : int option array;
+      (** active job index per processor at the start of the step;
+          [None] once the processor has finished all its jobs *)
+  progress : Crs_num.Rational.t array;
+      (** volume units processed this step, per processor *)
+  consumed : Crs_num.Rational.t array;
+      (** resource actually used ([min(R_i, r·progress-capped)]) *)
+  finished : (int * int) list;  (** jobs completed during this step *)
+}
+
+type trace = {
+  instance : Instance.t;
+  schedule : Schedule.t;
+  steps : step array;
+  start_step : int array array;
+      (** [S(i,j)], 1-based first step the job receives processing
+          attention (is active while its processor is scheduled);
+          0 when never started *)
+  completion_step : int array array;  (** [C(i,j)], 1-based; 0 if unfinished *)
+  completed : bool;  (** all jobs finished within the schedule's horizon *)
+}
+
+val run : Instance.t -> Schedule.t -> (trace, string) result
+(** Simulate. Errors if the schedule is infeasible or has the wrong number
+    of processors. A too-short schedule yields [completed = false]. *)
+
+val run_exn : Instance.t -> Schedule.t -> trace
+
+val makespan : trace -> int
+(** Latest completion step over all jobs (0 for a job-less instance).
+    @raise Failure if the trace is not completed. *)
+
+val makespan_opt : trace -> int option
+
+val active_jobs : trace -> int -> (int * int) list
+(** Jobs active at a (1-based) step: processor had unfinished jobs at the
+    step's start. This is the paper's edge [e_t] of the scheduling graph. *)
+
+val jobs_remaining : trace -> int -> int array
+(** [n_i(t)] for each processor at the start of 1-based step [t]. *)
+
+val wasted : trace -> Crs_num.Rational.t
+(** Total assigned-but-unused resource across the horizon. *)
+
+val unused_capacity : trace -> Crs_num.Rational.t
+(** Total resource capacity left unconsumed, [Σ_t (1 − consumed(t))],
+    counted over steps up to the last completion — the paper's notion of
+    waste in the Theorem 3 and Theorem 8 constructions. *)
+
+val verify_completion_times : trace -> (unit, string) result
+(** Recheck Eq. (2): for every finished unit-size job, the prefix sums of
+    [min(R_i(t), r_ij)] reach [r_ij·p_ij] exactly at the recorded
+    completion step and not before. Used in tests to pin the two model
+    interpretations against each other. *)

@@ -1,0 +1,27 @@
+module Q = Crs_num.Rational
+
+type t = { requirement : Q.t; size : Q.t }
+
+let make ~requirement ~size =
+  if not (Q.in_unit_interval requirement) then
+    invalid_arg "Job.make: requirement outside [0,1]";
+  if Q.(size <= zero) then invalid_arg "Job.make: size must be positive";
+  { requirement; size }
+
+let unit requirement = make ~requirement ~size:Q.one
+let of_percent p = unit (Q.of_ints p 100)
+
+let requirement t = t.requirement
+let size t = t.size
+let work t = Q.mul t.requirement t.size
+let is_unit_size t = Q.is_one t.size
+
+let equal a b = Q.equal a.requirement b.requirement && Q.equal a.size b.size
+
+let compare a b =
+  let c = Q.compare a.requirement b.requirement in
+  if c <> 0 then c else Q.compare a.size b.size
+
+let pp fmt t =
+  if is_unit_size t then Format.fprintf fmt "job(r=%a)" Q.pp t.requirement
+  else Format.fprintf fmt "job(r=%a, p=%a)" Q.pp t.requirement Q.pp t.size

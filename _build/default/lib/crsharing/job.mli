@@ -1,0 +1,32 @@
+(** A job in the CRSharing model (paper, Section 3.1).
+
+    A job has a processing volume (size) [p > 0] and a resource
+    requirement [r ∈ [0,1]]: granted a share [x·r] of the resource during
+    a time step, exactly [x] units of volume are processed ([x ≤ 1];
+    granting more than [r] brings no speedup). The paper's analysis
+    focuses on unit-size jobs ([p = 1]). *)
+
+type t = private { requirement : Crs_num.Rational.t; size : Crs_num.Rational.t }
+
+val make : requirement:Crs_num.Rational.t -> size:Crs_num.Rational.t -> t
+(** @raise Invalid_argument unless [0 <= requirement <= 1] and [size > 0]. *)
+
+val unit : Crs_num.Rational.t -> t
+(** Unit-size job with the given requirement. *)
+
+val of_percent : int -> t
+(** Unit-size job with requirement [p/100]; convenience for transcribing
+    the paper's figures (whose labels are percentages). *)
+
+val requirement : t -> Crs_num.Rational.t
+val size : t -> Crs_num.Rational.t
+
+val work : t -> Crs_num.Rational.t
+(** The job's total work [p̃ = r·p] in the alternative model
+    interpretation (Eq. 2): the amount of resource-time the job consumes.
+    Zero-requirement jobs have zero work but still occupy time steps. *)
+
+val is_unit_size : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

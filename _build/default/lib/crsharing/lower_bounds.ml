@@ -1,0 +1,16 @@
+module Q = Crs_num.Rational
+
+let total_work instance = Q.ceil_int (Instance.total_work instance)
+let job_count instance =
+  (* Volume is processed at speed at most 1, so job (i,j) occupies at
+     least ⌈p_ij⌉ steps of its processor; sequences add up. For unit
+     sizes this is the paper's bound OPT >= max_i n_i. *)
+  let per_proc i =
+    Array.fold_left
+      (fun acc job -> acc + Q.ceil_int (Job.size job))
+      0
+      (Instance.jobs_on instance i)
+  in
+  List.fold_left (fun acc i -> max acc (per_proc i)) 0
+    (Crs_util.Misc.range (Instance.m instance))
+let combined instance = max (total_work instance) (job_count instance)

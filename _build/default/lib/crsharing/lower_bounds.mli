@@ -1,0 +1,19 @@
+(** Instance-level lower bounds on the optimal makespan.
+
+    These are the paper's Observation 1 (total work) and the trivial
+    job-count bound used in Theorem 3 and Lemma 6. Component-structure
+    bounds (Lemmas 5 and 6) depend on a schedule's hypergraph and live in
+    [Crs_hypergraph.Bounds]. *)
+
+val total_work : Instance.t -> int
+(** Observation 1: any feasible schedule needs at least
+    [⌈Σ_ij r_ij·p_ij⌉] steps (the aggregate speed never exceeds 1, and
+    makespans are integral). *)
+
+val job_count : Instance.t -> int
+(** Each job [(i,j)] occupies at least [⌈p_ij⌉] steps of its processor,
+    so [OPT ≥ max_i Σ_j ⌈p_ij⌉]; for unit sizes this is the paper's
+    [OPT ≥ max_i n_i]. *)
+
+val combined : Instance.t -> int
+(** Max of all instance-level bounds. *)

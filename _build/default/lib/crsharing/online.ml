@@ -1,0 +1,85 @@
+module Q = Crs_num.Rational
+
+type view = {
+  proc : int;
+  active_requirement : Q.t;
+  remaining_work : Q.t;
+  jobs_behind : int;
+  time : int;
+}
+
+type t = view array -> Q.t array
+
+let views_of_state (state : Policy.state) =
+  let m = Instance.m state.Policy.instance in
+  List.filter_map
+    (fun i ->
+      if Policy.active state i then
+        Some
+          {
+            proc = i;
+            active_requirement = Policy.active_requirement state i;
+            remaining_work = Policy.remaining_work state i;
+            jobs_behind = Policy.jobs_remaining state i - 1;
+            time = state.Policy.time;
+          }
+      else None)
+    (Crs_util.Misc.range m)
+  |> Array.of_list
+
+let to_policy (online : t) : Policy.t =
+ fun state ->
+  let m = Instance.m state.Policy.instance in
+  let views = views_of_state state in
+  let assigned = online views in
+  if Array.length assigned <> Array.length views then
+    failwith "Online.to_policy: policy returned wrong arity";
+  let shares = Array.make m Q.zero in
+  Array.iteri (fun k v -> shares.(v.proc) <- assigned.(k)) views;
+  shares
+
+(* Pour the unit budget down a priority order of view indices. *)
+let pour order views =
+  let shares = Array.make (Array.length views) Q.zero in
+  let budget = ref Q.one in
+  List.iter
+    (fun k ->
+      let v = views.(k) in
+      let usable = Q.min v.active_requirement v.remaining_work in
+      let give = Q.min usable !budget in
+      shares.(k) <- give;
+      budget := Q.sub !budget give)
+    order;
+  shares
+
+let greedy_balance views =
+  let order =
+    List.sort
+      (fun a b ->
+        let va = views.(a) and vb = views.(b) in
+        if va.jobs_behind <> vb.jobs_behind then compare vb.jobs_behind va.jobs_behind
+        else begin
+          let c = Q.compare vb.remaining_work va.remaining_work in
+          if c <> 0 then c else compare va.proc vb.proc
+        end)
+      (Crs_util.Misc.range (Array.length views))
+  in
+  pour order views
+
+let round_robin views =
+  match views with
+  | [||] -> [||]
+  | _ ->
+    let front =
+      Array.fold_left (fun acc v -> max acc v.jobs_behind) min_int views
+    in
+    let members =
+      List.filter (fun k -> views.(k).jobs_behind = front)
+        (Crs_util.Misc.range (Array.length views))
+    in
+    pour members views
+
+let clairvoyance_gap ~exact online instance =
+  let schedule = Policy.run (to_policy online) instance in
+  let makespan = Execution.makespan (Execution.run_exn instance schedule) in
+  (makespan, exact instance)

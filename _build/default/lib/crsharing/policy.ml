@@ -1,0 +1,120 @@
+module Q = Crs_num.Rational
+
+type state = {
+  time : int;
+  instance : Instance.t;
+  next_job : int array;
+  remaining_volume : Q.t array;
+}
+
+let initial instance =
+  let m = Instance.m instance in
+  {
+    time = 1;
+    instance;
+    next_job = Array.make m 0;
+    remaining_volume =
+      Array.init m (fun i ->
+          if Instance.n_i instance i > 0 then Job.size (Instance.job instance i 0)
+          else Q.zero);
+  }
+
+let active state i = state.next_job.(i) < Instance.n_i state.instance i
+let is_done state = not (List.exists (active state) (Crs_util.Misc.range (Instance.m state.instance)))
+let jobs_remaining state i = Instance.n_i state.instance i - state.next_job.(i)
+
+let active_requirement state i =
+  if not (active state i) then invalid_arg "Policy.active_requirement: processor done";
+  Job.requirement (Instance.job state.instance i state.next_job.(i))
+
+let remaining_work state i =
+  if not (active state i) then Q.zero
+  else Q.mul (active_requirement state i) state.remaining_volume.(i)
+
+(* Most resource the active job can absorb during one step: the speed cap
+   limits consumption to r, the remaining volume to r·vol. *)
+let usable state i =
+  if not (active state i) then Q.zero
+  else Q.min (active_requirement state i) (remaining_work state i)
+
+type t = state -> Q.t array
+
+let advance state shares =
+  let m = Instance.m state.instance in
+  if Array.length shares <> m then failwith "Policy.advance: wrong share vector width";
+  let next_job = Array.copy state.next_job in
+  let remaining_volume = Array.copy state.remaining_volume in
+  for i = 0 to m - 1 do
+    if active state i then begin
+      let r = active_requirement state i in
+      let speed = if Q.is_zero r then Q.one else Q.min (Q.div shares.(i) r) Q.one in
+      let p = Q.min speed remaining_volume.(i) in
+      remaining_volume.(i) <- Q.sub remaining_volume.(i) p;
+      if Q.is_zero remaining_volume.(i) then begin
+        next_job.(i) <- next_job.(i) + 1;
+        if next_job.(i) < Instance.n_i state.instance i then
+          remaining_volume.(i) <- Job.size (Instance.job state.instance i next_job.(i))
+      end
+    end
+  done;
+  { state with time = state.time + 1; next_job; remaining_volume }
+
+let run ?max_steps policy instance =
+  let fuel =
+    match max_steps with
+    | Some f -> f
+    | None -> (10 * Instance.total_jobs instance) + 100
+  in
+  let rec go state acc fuel =
+    if is_done state then Schedule.of_rows (Array.of_list (List.rev acc))
+    else if fuel <= 0 then
+      failwith "Policy.run: fuel exhausted (policy not making progress?)"
+    else begin
+      let shares = policy state in
+      if Array.exists (fun s -> not (Q.in_unit_interval s)) shares then
+        failwith "Policy.run: share outside [0,1]";
+      if Q.(Q.sum_array shares > one) then failwith "Policy.run: resource overused";
+      go (advance state shares) (shares :: acc) (fuel - 1)
+    end
+  in
+  if is_done (initial instance) then Schedule.empty ~m:(Instance.m instance)
+  else go (initial instance) [] fuel
+
+let idle state = Array.make (Instance.m state.instance) Q.zero
+
+let uniform state =
+  let m = Instance.m state.instance in
+  let actives = List.filter (active state) (Crs_util.Misc.range m) in
+  let k = List.length actives in
+  let fair = if k = 0 then Q.zero else Q.div Q.one (Q.of_int k) in
+  Array.init m (fun i ->
+      if active state i then Q.min fair (usable state i) else Q.zero)
+
+let proportional state =
+  let m = Instance.m state.instance in
+  let total = Q.sum (List.map (remaining_work state) (Crs_util.Misc.range m)) in
+  if Q.is_zero total then
+    (* Only zero-requirement work left; it progresses without resource. *)
+    Array.make m Q.zero
+  else
+    Array.init m (fun i ->
+        if active state i then
+          Q.min (Q.div (remaining_work state i) total) (usable state i)
+        else Q.zero)
+
+let greedy_fill ~by state =
+  let m = Instance.m state.instance in
+  let order =
+    List.filter (active state) (Crs_util.Misc.range m)
+    |> List.sort (fun a b ->
+           if by state a b then -1 else if by state b a then 1 else compare a b)
+  in
+  let shares = Array.make m Q.zero in
+  let budget = ref Q.one in
+  List.iter
+    (fun i ->
+      let give = Q.min (usable state i) !budget in
+      shares.(i) <- give;
+      budget := Q.sub !budget give)
+    order;
+  shares

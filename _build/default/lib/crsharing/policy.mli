@@ -1,0 +1,68 @@
+(** Online resource-assignment policies.
+
+    A policy looks at the current system state at the start of a time
+    step and decides the share vector for that step. Running a policy to
+    completion yields a concrete {!Schedule.t}; this is how all the
+    paper's algorithms (RoundRobin, GreedyBalance, …) are realized. *)
+
+type state = {
+  time : int;  (** 1-based index of the step being decided *)
+  instance : Instance.t;
+  next_job : int array;
+      (** per processor, index of the active job; [n_i] when done *)
+  remaining_volume : Crs_num.Rational.t array;
+      (** remaining processing volume (p-units) of the active job;
+          zero for finished processors *)
+}
+
+val initial : Instance.t -> state
+
+val is_done : state -> bool
+val active : state -> int -> bool
+(** Processor still has unfinished jobs. *)
+
+val jobs_remaining : state -> int -> int
+(** [n_i(t)]: unfinished jobs on the processor. *)
+
+val active_requirement : state -> int -> Crs_num.Rational.t
+(** Requirement of the active job. @raise Invalid_argument if done. *)
+
+val remaining_work : state -> int -> Crs_num.Rational.t
+(** Remaining work [r·(remaining volume)] of the active job — the
+    resource still needed to finish it (alternative interpretation);
+    zero for finished processors. *)
+
+type t = state -> Crs_num.Rational.t array
+(** Must return a feasible share vector (entries in [0,1], sum at most 1). *)
+
+val advance : state -> Crs_num.Rational.t array -> state
+(** One step of the model semantics. *)
+
+val run : ?max_steps:int -> t -> Instance.t -> Schedule.t
+(** Run the policy until every job finishes.
+
+    @param max_steps fuel limit (default [10·total_jobs + 100]); exceeding
+    it raises [Failure], which flags a policy that stopped making
+    progress.
+    @raise Failure also when the policy emits an infeasible share
+    vector. *)
+
+(** {1 Stock policies} *)
+
+val idle : t
+(** Assigns nothing; useful only in tests. *)
+
+val uniform : t
+(** Splits the resource evenly among active processors, capped per job at
+    its usable amount; surplus is not redistributed. *)
+
+val proportional : t
+(** Splits proportionally to the active jobs' remaining work; capped at
+    the usable amount. *)
+
+val greedy_fill : by:(state -> int -> int -> bool) -> t
+(** [greedy_fill ~by] sorts active processors with the strict ordering
+    [by state] (a [<]-like predicate on processor ids) and pours the
+    resource down the list, giving each active job exactly the resource it
+    can still use this step. The resulting schedules are non-wasting and
+    progressive by construction. *)

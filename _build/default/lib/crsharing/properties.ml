@@ -1,0 +1,192 @@
+module Q = Crs_num.Rational
+
+type violation = { step : int; reason : string }
+
+let pp_violation fmt v = Format.fprintf fmt "step %d: %s" v.step v.reason
+
+(* Last 1-based step during which some job is still active; later steps
+   are vacuous for every property. *)
+let live_horizon (trace : Execution.trace) =
+  let last = ref 0 in
+  Array.iteri
+    (fun t (step : Execution.step) ->
+      if Array.exists Option.is_some step.active then last := t + 1)
+    trace.steps;
+  !last
+
+let finished_this_step (step : Execution.step) i =
+  List.exists (fun (i', _) -> i' = i) step.finished
+
+let non_wasting (trace : Execution.trace) =
+  let exception Bad of violation in
+  try
+    let horizon = live_horizon trace in
+    for t = 1 to horizon do
+      let step = trace.steps.(t - 1) in
+      if Q.(Q.sum_array step.shares < one) then
+        Array.iteri
+          (fun i active ->
+            match active with
+            | Some j ->
+              if not (finished_this_step step i) then
+                raise
+                  (Bad
+                     {
+                       step = t;
+                       reason =
+                         Printf.sprintf
+                           "resource underused yet job (%d,%d) not finished" i j;
+                     })
+            | None -> ())
+          step.active
+    done;
+    Ok ()
+  with Bad v -> Error v
+
+let progressive (trace : Execution.trace) =
+  let exception Bad of violation in
+  try
+    let horizon = live_horizon trace in
+    for t = 1 to horizon do
+      let step = trace.steps.(t - 1) in
+      let partial = ref [] in
+      Array.iteri
+        (fun i active ->
+          match active with
+          | Some j ->
+            if Q.(step.shares.(i) > zero) && not (finished_this_step step i) then
+              partial := (i, j) :: !partial
+          | None -> ())
+        step.active;
+      if List.length !partial > 1 then
+        raise
+          (Bad
+             {
+               step = t;
+               reason =
+                 Printf.sprintf "%d jobs partially processed with resource"
+                   (List.length !partial);
+             })
+    done;
+    Ok ()
+  with Bad v -> Error v
+
+let nested (trace : Execution.trace) =
+  let exception Bad of violation in
+  let instance = trace.instance in
+  let all_jobs =
+    List.concat_map
+      (fun i -> List.map (fun j -> (i, j)) (Crs_util.Misc.range (Instance.n_i instance i)))
+      (Crs_util.Misc.range (Instance.m instance))
+  in
+  let s (i, j) =
+    let v = trace.start_step.(i).(j) in
+    if v = 0 then max_int else v
+  in
+  let c (i, j) =
+    let v = trace.completion_step.(i).(j) in
+    if v = 0 then max_int else v
+  in
+  (* "Running" = in progress: started by step t and not completed before
+     it. The Lemma 1 proof picks t = C(i,j) and says the job "would run in
+     step t", so the completion step counts as running; Figure 2c is only
+     a violation under this reading. *)
+  let running job t =
+    let s0 = s job in
+    s0 <> max_int && s0 <= t && t <= c job
+  in
+  try
+    List.iter
+      (fun job ->
+        if s job <> max_int then
+          List.iter
+            (fun job' ->
+              if job <> job' && s job' <> max_int && s job < s job'
+                 && s job' < c job then
+                (* Candidate pair; look for a step t with
+                   S' <= t < C' where job runs. *)
+                let upper = min (c job') (Array.length trace.steps + 1) in
+                for t = s job' to upper - 1 do
+                  if running job t then
+                    raise
+                      (Bad
+                         {
+                           step = t;
+                           reason =
+                             Printf.sprintf
+                               "job (%d,%d) [S=%d,C=%d] runs inside job \
+                                (%d,%d) [S=%d,C=%d]"
+                               (fst job) (snd job) (s job)
+                               trace.completion_step.(fst job).(snd job)
+                               (fst job') (snd job') (s job')
+                               trace.completion_step.(fst job').(snd job');
+                         })
+                done)
+            all_jobs)
+      all_jobs;
+    Ok ()
+  with Bad v -> Error v
+
+let balanced (trace : Execution.trace) =
+  let exception Bad of violation in
+  let m = Instance.m trace.instance in
+  try
+    let horizon = live_horizon trace in
+    let n = Array.init m (fun i -> Instance.n_i trace.instance i) in
+    for t = 1 to horizon do
+      let step = trace.steps.(t - 1) in
+      let finishes = Array.init m (fun i -> finished_this_step step i) in
+      for i = 0 to m - 1 do
+        if finishes.(i) then
+          for i' = 0 to m - 1 do
+            if n.(i') > n.(i) && not finishes.(i') then
+              raise
+                (Bad
+                   {
+                     step = t;
+                     reason =
+                       Printf.sprintf
+                         "proc %d (n=%d) finishes but proc %d (n=%d) does not"
+                         i n.(i) i' n.(i');
+                   })
+          done
+      done;
+      List.iter (fun (i, _) -> n.(i) <- n.(i) - 1) step.finished
+    done;
+    Ok ()
+  with Bad v -> Error v
+
+let no_overprovision (trace : Execution.trace) =
+  let exception Bad of violation in
+  try
+    Array.iteri
+      (fun t (step : Execution.step) ->
+        Array.iteri
+          (fun i share ->
+            if not (Q.equal share step.consumed.(i)) then
+              raise
+                (Bad
+                   {
+                     step = t + 1;
+                     reason =
+                       Printf.sprintf "proc %d assigned %s but consumed %s" i
+                         (Q.to_string share)
+                         (Q.to_string step.consumed.(i));
+                   }))
+          step.shares)
+      trace.steps;
+    Ok ()
+  with Bad v -> Error v
+
+let is_non_wasting t = Result.is_ok (non_wasting t)
+let is_progressive t = Result.is_ok (progressive t)
+let is_nested t = Result.is_ok (nested t)
+let is_balanced t = Result.is_ok (balanced t)
+
+let check_all trace =
+  [
+    ("non-wasting", non_wasting trace);
+    ("progressive", progressive trace);
+    ("nested", nested trace);
+    ("balanced", balanced trace);
+  ]

@@ -1,0 +1,56 @@
+(** Structural properties of schedules (paper, Definitions 2-5).
+
+    All predicates are evaluated on an execution trace. For a completed
+    trace they decide exactly the paper's definitions; steps after all
+    jobs completed are ignored. *)
+
+type violation = { step : int; reason : string }
+(** A witness for a failed property, with the 1-based step involved. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Definition 2: non-wasting}
+
+    In every step [t] with [Σ_i R_i(t) < 1], all active jobs finish. *)
+
+val non_wasting : Execution.trace -> (unit, violation) result
+val is_non_wasting : Execution.trace -> bool
+
+(** {1 Definition 3: progressive}
+
+    In every step, among jobs that are assigned resources, at most one is
+    only partially processed: [|{i : n_i(t) = n_i(t+1) ∧ R_i(t) > 0}| ≤ 1]. *)
+
+val progressive : Execution.trace -> (unit, violation) result
+val is_progressive : Execution.trace -> bool
+
+(** {1 Definition 4: nested}
+
+    At no step [t] are there jobs [(i,j)], [(i',j')] with
+    [S(i,j) < S(i',j') ≤ t < C(i',j')], [S(i',j') < C(i,j)], and [(i,j)]
+    running during [t]. A job is "running" at [t] when it has started and
+    is not yet completed ([S ≤ t ≤ C]): the Lemma 1 proof and the
+    Figure 2c example both force this in-progress reading rather than
+    "receives resource at [t]". *)
+
+val nested : Execution.trace -> (unit, violation) result
+val is_nested : Execution.trace -> bool
+
+(** {1 Definition 5: balanced}
+
+    Whenever processor [i] finishes a job at step [t], every processor
+    [i'] with [n_i'(t) > n_i(t)] also finishes a job at [t]. *)
+
+val balanced : Execution.trace -> (unit, violation) result
+val is_balanced : Execution.trace -> bool
+
+(** {1 Extra sanity predicates} *)
+
+val no_overprovision : Execution.trace -> (unit, violation) result
+(** No processor is assigned resource its active job cannot use
+    ([consumed = share] everywhere). Not required by the paper, but
+    natural for canonical schedules produced by our algorithms. *)
+
+val check_all :
+  Execution.trace -> (string * (unit, violation) result) list
+(** Evaluate the four paper properties, labelled. *)

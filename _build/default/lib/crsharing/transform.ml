@@ -1,0 +1,445 @@
+module Q = Crs_num.Rational
+
+(* All surgery happens on a mutable consumption matrix w.(t).(i) (0-based
+   steps). The invariants maintained by every primitive:
+   - Σ_i w.(t).(i) <= 1 for all t;
+   - each processor's row, read in step order, feeds its jobs in order
+     and sums to exactly the total work (so the schedule completes);
+   - a job only receives resource during steps where it is active.
+   After each primitive we re-derive the trace from scratch rather than
+   patching bookkeeping incrementally — O(T·m) per primitive, robustness
+   over speed. *)
+
+let trace_of instance w =
+  let rows = Array.map Array.copy w in
+  if Array.length rows = 0 then
+    Execution.run_exn instance (Schedule.empty ~m:(Instance.m instance))
+  else Execution.run_exn instance (Schedule.of_rows rows)
+
+(* Truncate trailing steps after the last completion. *)
+let truncate instance w =
+  let trace = trace_of instance w in
+  let last =
+    Array.fold_left
+      (fun acc row -> Array.fold_left max acc row)
+      0 trace.Execution.completion_step
+  in
+  if last < Array.length w then Array.sub w 0 last else w
+
+let consumption_matrix (trace : Execution.trace) =
+  Array.map (fun (s : Execution.step) -> Array.copy s.consumed) trace.steps
+
+let check_input instance schedule =
+  if not (Instance.is_unit_size instance) then
+    invalid_arg "Transform: unit-size jobs only";
+  (match Schedule.check_feasible schedule with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Transform: infeasible schedule: " ^ msg));
+  let trace = Execution.run_exn instance schedule in
+  if not trace.Execution.completed then
+    invalid_arg "Transform: schedule does not finish all jobs"
+
+let canonicalize_matrix instance schedule =
+  let trace = Execution.run_exn instance schedule in
+  truncate instance (consumption_matrix trace)
+
+(* The active job of processor i at 0-based step t, if any. *)
+let active_at (trace : Execution.trace) t i = trace.steps.(t).Execution.active.(i)
+
+(* Future receipt steps of the job active on processor i at step t:
+   0-based steps t' > t where the same job receives positive resource. *)
+let future_receipts (trace : Execution.trace) w t i =
+  match active_at trace t i with
+  | None -> []
+  | Some j ->
+    let horizon = Array.length w in
+    let rec go t' acc =
+      if t' >= horizon then List.rev acc
+      else
+        match active_at trace t' i with
+        | Some j' when j' = j ->
+          go (t' + 1) (if Q.(w.(t').(i) > zero) then t' :: acc else acc)
+        | _ -> List.rev acc
+    in
+    go (t + 1) []
+
+let row_sum w t = Q.sum_array w.(t)
+
+(* Pass 1: saturation. One ascending sweep; in each step, pull active
+   jobs' future receipts forward until the step is saturated or every
+   active job completes within it. *)
+let saturate instance w =
+  let w = ref w in
+  let horizon () = Array.length !w in
+  let t = ref 0 in
+  while !t < horizon () do
+    let continue_step = ref true in
+    while !continue_step do
+      continue_step := false;
+      let trace = trace_of instance !w in
+      if !t < Array.length !w then begin
+        let slack = Q.sub Q.one (row_sum !w !t) in
+        if Q.(slack > zero) then begin
+          let m = Instance.m instance in
+          let moved = ref false in
+          let i = ref 0 in
+          while (not !moved) && !i < m do
+            (match future_receipts trace !w !t !i with
+            | t' :: _ ->
+              let delta = Q.min slack !w.(t').(!i) in
+              if Q.(delta > zero) then begin
+                !w.(t').(!i) <- Q.sub !w.(t').(!i) delta;
+                !w.(!t).(!i) <- Q.add !w.(!t).(!i) delta;
+                moved := true
+              end
+            | [] -> ());
+            incr i
+          done;
+          if !moved then continue_step := true
+        end
+      end
+    done;
+    (* Pulling forward may have emptied trailing steps. *)
+    w := truncate instance !w;
+    incr t
+  done;
+  truncate instance !w
+
+(* Violating pairs of the nested property. Definition 4 with the
+   in-progress reading of "running" reduces to the pair condition
+   S(i,j) < S(i',j') < C(i,j) together with S(i',j') < C(i',j'): while a
+   job is strictly in progress, no multi-step job may start. (The proof of
+   Lemma 1 spells out only the strict interleaving S < S' < C < C', but
+   the equal-completion case C = C' violates Definition 4 just the same —
+   witness Figure 2c — and the same window exchange repairs it.) Returns
+   the pair with smallest (S', S) not in [skip], or None. *)
+let find_violating_pair ?(min_start = 0) ?(skip = []) (trace : Execution.trace) =
+  let instance = trace.Execution.instance in
+  let jobs =
+    List.concat_map
+      (fun i ->
+        List.map (fun j -> (i, j)) (Crs_util.Misc.range (Instance.n_i instance i)))
+      (Crs_util.Misc.range (Instance.m instance))
+  in
+  let s (i, j) = trace.Execution.start_step.(i).(j) in
+  let c (i, j) = trace.Execution.completion_step.(i).(j) in
+  let best = ref None in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if fst a <> fst b then begin
+            let sa = s a and sb = s b and ca = c a and cb = c b in
+            if sa > 0 && sb > 0 && sa < sb && sb < ca && sb < cb && sb > min_start
+               && not (List.mem (a, b) skip)
+            then begin
+              match !best with
+              | Some (_, _, key) when key <= (sb, sa) -> ()
+              | _ -> best := Some (a, b, (sb, sa))
+            end
+          end)
+        jobs)
+    jobs;
+  match !best with
+  | Some (a, b, _) -> Some (a, b)
+  | None -> None
+
+(* Fix one violating pair (ia,ja) / (ib,jb): within steps S(b)..C(a),
+   re-split the combined budget of the two processors so that job a is
+   fed first (up to its remaining need) and job b gets the rest. Unit
+   sizes make the per-step caps vacuous (remaining work <= requirement
+   <= 1 >= any step budget share). *)
+exception Unfixable_pair
+
+(* Enclosed shape: job b starts and completes strictly inside job a's
+   span. Repair: make b single-step. Pick a window step u whose combined
+   two-row budget covers b's whole remaining work w_b; b receives exactly
+   w_b at u and nothing else, a absorbs every other scrap of the window
+   budget (its per-step cap is its remaining work, which unit sizes keep
+   above any prefix of its total take). Work per row and per step is
+   conserved, b becomes a one-step job (S = C, never a violator again),
+   and no other job's receipts change. Raises [Unfixable_pair] when no
+   single step's budget covers w_b. *)
+let fix_enclosed instance w (ia, ja) (ib, jb) =
+  ignore instance;
+  let trace = trace_of instance w in
+  let s_b = trace.Execution.start_step.(ib).(jb) in
+  let c_b = trace.Execution.completion_step.(ib).(jb) in
+  let window = List.init (c_b - s_b + 1) (fun k -> s_b - 1 + k) in
+  let part_a t = if active_at trace t ia = Some ja then w.(t).(ia) else Q.zero in
+  let part_b t = if active_at trace t ib = Some jb then w.(t).(ib) else Q.zero in
+  let budget t = Q.add (part_a t) (part_b t) in
+  let w_b = Q.sum (List.map part_b window) in
+  let u =
+    List.fold_left
+      (fun best t ->
+        match best with
+        | Some tb when Q.(budget tb >= budget t) -> best
+        | _ -> Some t)
+      None window
+  in
+  match u with
+  | Some u when Q.(budget u >= w_b) ->
+    (* Snapshot the combined budgets before mutating the matrix. *)
+    let budgets = List.map (fun t -> (t, budget t)) window in
+    List.iter
+      (fun (t, b_t) ->
+        let y = if t = u then w_b else Q.zero in
+        let b_other =
+          if active_at trace t ib = Some jb then Q.zero else w.(t).(ib)
+        in
+        let a_other =
+          if active_at trace t ia = Some ja then Q.zero else w.(t).(ia)
+        in
+        w.(t).(ib) <- Q.add b_other y;
+        w.(t).(ia) <- Q.add a_other (Q.sub b_t y))
+      budgets
+  | _ -> raise Unfixable_pair
+
+let fix_pair instance w ((ia, ja) as _a) ((ib, jb) as _b) =
+  let trace = trace_of instance w in
+  let s_b = trace.Execution.start_step.(ib).(jb) in
+  let c_a = trace.Execution.completion_step.(ia).(ja) in
+  let c_b = trace.Execution.completion_step.(ib).(jb) in
+  (* The window exchange redistributes the two jobs' combined budget over
+     [S(b), C(a)]: feed a to completion first, then b with the remainder.
+     When C(b) >= C(a), b is active through the window and the exchange
+     is the paper's. When C(b) < C(a) (enclosed shape), the same exchange
+     remains valid provided b may be DELAYED through the window, i.e. its
+     successors receive nothing in (C(b), C(a)] — exactly how Figure 2b
+     repairs Figure 2c. Otherwise fall back to compacting b into one
+     step. Per-step caps cannot force waste for unit sizes: a's take is
+     bounded by its remaining work, b's by its remaining work <= r_b. *)
+  let tail_free =
+    c_b >= c_a
+    || List.for_all
+         (fun t -> Q.is_zero w.(t).(ib))
+         (List.init (c_a - c_b) (fun k -> c_b + k))
+  in
+  if not tail_free then fix_enclosed instance w (ia, ja) (ib, jb)
+  else begin
+    let window = List.init (c_a - s_b + 1) (fun k -> s_b - 1 + k) in
+    let receipts_of i j =
+      List.fold_left
+        (fun acc t ->
+          if active_at trace t i = Some j then Q.add acc w.(t).(i) else acc)
+        Q.zero window
+    in
+    let need_a = ref (receipts_of ia ja) in
+    let need_b = ref (receipts_of ib jb) in
+    (* Whether row b's budget at step t belonged to job b (it may be zero
+       tail space where b is merely allowed to run after the delay). *)
+    let b_slot t = active_at trace t ib = Some jb || Q.is_zero w.(t).(ib) in
+    List.iter
+      (fun t ->
+        (* Only the budget these two jobs were using is redistributed. *)
+        let part_a = if active_at trace t ia = Some ja then w.(t).(ia) else Q.zero in
+        let part_b = if active_at trace t ib = Some jb then w.(t).(ib) else Q.zero in
+        let budget = Q.add part_a part_b in
+        let give_a = Q.min budget !need_a in
+        let give_b = Q.min (Q.sub budget give_a) !need_b in
+        if active_at trace t ia = Some ja then
+          w.(t).(ia) <- Q.add (Q.sub w.(t).(ia) part_a) give_a
+        else assert (Q.is_zero give_a);
+        if b_slot t then w.(t).(ib) <- Q.add (Q.sub w.(t).(ib) part_b) give_b
+        else assert (Q.is_zero give_b);
+        need_a := Q.sub !need_a give_a;
+        need_b := Q.sub !need_b give_b)
+      window;
+    if not (Q.is_zero !need_a && Q.is_zero !need_b) then
+      failwith "Transform.fix_pair: exchange did not conserve work (bug)"
+  end
+
+let eliminate_pairs ?min_start instance w =
+  let fuel = ref (Instance.total_jobs instance * Instance.total_jobs instance * 4) in
+  let skipped = ref [] in
+  let rec loop () =
+    let trace = trace_of instance w in
+    match find_violating_pair ?min_start ~skip:!skipped trace with
+    | None -> ()
+    | Some (a, b) ->
+      decr fuel;
+      if !fuel < 0 then failwith "Transform.eliminate_pairs: no fixpoint (bug)";
+      (try fix_pair instance w a b
+       with Unfixable_pair -> skipped := (a, b) :: !skipped);
+      loop ()
+  in
+  loop ()
+
+(* Pass 3: per-step untangling. For 1-based step t: among jobs receiving
+   resource at t and active after t, keep only the one with the smallest
+   completion time; exchange the others' step-t shares against its
+   receipts in later steps. *)
+let untangle_step instance w t0 =
+  let m = Instance.m instance in
+  let fuel = ref ((4 * m) + 8) in
+  let rec loop () =
+    decr fuel;
+    if !fuel < 0 then failwith "Transform.untangle_step: no fixpoint (bug)";
+    let trace = trace_of instance w in
+    if t0 >= Array.length w then ()
+    else begin
+      let c i j = trace.Execution.completion_step.(i).(j) in
+      let partial =
+        List.filter_map
+          (fun i ->
+            match active_at trace t0 i with
+            | Some j
+              when Q.(w.(t0).(i) > zero)
+                   && (c i j = 0 || c i j > t0 + 1) ->
+              Some (i, j)
+            | _ -> None)
+          (Crs_util.Misc.range m)
+      in
+      match partial with
+      | [] | [ _ ] -> ()
+      | _ ->
+        (* Keeper: smallest completion time (0 = never completes, treated
+           as infinity; cannot happen for completing schedules). *)
+        let key (i, j) =
+          let v = c i j in
+          if v = 0 then max_int else v
+        in
+        let keeper =
+          List.fold_left
+            (fun best cand -> if key cand < key best then cand else best)
+            (List.hd partial) (List.tl partial)
+        in
+        let ik, _jk = keeper in
+        let donors = List.filter (fun cand -> cand <> keeper) partial in
+        (* Move x from a donor's step-t share to the keeper and hand the
+           same amount of the keeper's later receipts back to the donor,
+           earliest steps first. The donor can absorb at most
+           [r_donor - current share] extra per step (speed cap); the
+           keeper's completion time is minimal among the partial jobs, so
+           all its receipt steps lie within the donor's job's window and
+           the remaining-work cap cannot bind (the donor is owed exactly
+           what it gave). x is capped by the total absorbency so the
+           compensation always lands. *)
+        let future = future_receipts trace w t0 ik in
+        let try_donor (id, jd) =
+          let r_donor = Job.requirement (Instance.job instance id jd) in
+          let caps =
+            List.map
+              (fun t' ->
+                (t', Q.min w.(t').(ik) (Q.max Q.zero (Q.sub r_donor w.(t').(id)))))
+              future
+          in
+          let absorbency = Q.sum (List.map snd caps) in
+          let x = Q.min w.(t0).(id) absorbency in
+          if Q.(x > zero) then begin
+            w.(t0).(id) <- Q.sub w.(t0).(id) x;
+            w.(t0).(ik) <- Q.add w.(t0).(ik) x;
+            let remaining = ref x in
+            List.iter
+              (fun (t', cap) ->
+                if Q.(!remaining > zero) then begin
+                  let y = Q.min !remaining cap in
+                  w.(t').(ik) <- Q.sub w.(t').(ik) y;
+                  w.(t').(id) <- Q.add w.(t').(id) y;
+                  remaining := Q.sub !remaining y
+                end)
+              caps;
+            if not (Q.is_zero !remaining) then
+              failwith "Transform.untangle_step: compensation exhausted (bug)";
+            true
+          end
+          else false
+        in
+        if List.exists try_donor donors then loop ()
+        else
+          failwith
+            "Transform.untangle_step: no donor exchange possible (speed caps \
+             block the Lemma 1 argument on this input — please report)"
+    end
+  in
+  loop ()
+
+let schedule_of w m = if Array.length w = 0 then Schedule.empty ~m else Schedule.of_rows w
+
+let make_non_wasting instance schedule =
+  check_input instance schedule;
+  let w = canonicalize_matrix instance schedule in
+  let w = saturate instance w in
+  schedule_of w (Instance.m instance)
+
+let canonicalize instance schedule =
+  check_input instance schedule;
+  schedule_of (canonicalize_matrix instance schedule) (Instance.m instance)
+
+let debug_enabled = lazy (Sys.getenv_opt "CRS_TRANSFORM_DEBUG" <> None)
+
+let debug_status instance w round =
+  if Lazy.force debug_enabled then begin
+    let trace = trace_of instance w in
+    let status =
+      List.map
+        (fun (n, r) ->
+          Printf.sprintf "%s=%s" n
+            (match r with
+            | Ok () -> "ok"
+            | Error v -> Format.asprintf "FAIL(%a)" Properties.pp_violation v))
+        (Properties.check_all trace)
+      |> String.concat " "
+    in
+    Printf.eprintf "[transform] round %d horizon %d: %s\n%!" round
+      (Array.length w) status
+  end
+
+let properties_hold instance w =
+  let trace = trace_of instance w in
+  trace.Execution.completed
+  && Result.is_ok (Properties.non_wasting trace)
+  && Result.is_ok (Properties.progressive trace)
+  && Result.is_ok (Properties.nested trace)
+
+let normalize instance schedule =
+  check_input instance schedule;
+  let original_makespan =
+    Execution.makespan (Execution.run_exn instance schedule)
+  in
+  (* The three passes interact: pair elimination and untangling preserve
+     every step's total but move completion times, which can re-expose
+     underused steps with unfinished active jobs; saturation in turn can
+     create new interleavings. Each pass never increases the makespan, so
+     we simply iterate the pipeline until all three properties hold
+     (fuzzing shows 2-3 rounds typical; the round budget is a bug guard). *)
+  let w = ref (canonicalize_matrix instance schedule) in
+  let rounds = ref 0 in
+  while not (properties_hold instance !w) do
+    debug_status instance !w !rounds;
+    incr rounds;
+    if !rounds > 30 then
+      failwith "Transform.normalize: passes did not reach a fixpoint (bug)";
+    w := saturate instance !w;
+    eliminate_pairs instance !w;
+    let horizon = Array.length !w in
+    for t0 = 0 to horizon - 1 do
+      untangle_step instance !w t0;
+      (* Shrinking a completion time may create fresh interleavings that
+         start after t (proof of Lemma 1); clean them before moving on. *)
+      eliminate_pairs ~min_start:(t0 + 1) instance !w
+    done;
+    w := truncate instance !w
+  done;
+  let result = schedule_of !w (Instance.m instance) in
+  (* Re-validate everything the lemma promises before handing it out. *)
+  let trace = Execution.run_exn instance result in
+  if not trace.Execution.completed then
+    failwith "Transform.normalize: result does not complete (bug)";
+  if Execution.makespan trace > original_makespan then
+    failwith "Transform.normalize: makespan increased (bug)";
+  List.iter
+    (fun (name, check) ->
+      match check with
+      | Ok () -> ()
+      | Error v ->
+        failwith
+          (Format.asprintf "Transform.normalize: result not %s: %a (bug)" name
+             Properties.pp_violation v))
+    [
+      ("non-wasting", Properties.non_wasting trace);
+      ("progressive", Properties.progressive trace);
+      ("nested", Properties.nested trace);
+    ];
+  result

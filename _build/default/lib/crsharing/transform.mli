@@ -1,0 +1,49 @@
+(** The Lemma 1 normalization: every feasible schedule can be transformed
+    — without increasing its makespan — into one that is non-wasting,
+    progressive and nested.
+
+    The implementation follows the proof's three exchange arguments
+    operating on the per-step consumption matrix:
+
+    + {b saturation}: in each underusing step, pull the active jobs'
+      future receipts forward until the step is full or every active job
+      finishes in it (non-wasting);
+    + {b pair elimination}: for jobs with interleaved windows
+      [S(i,j) < S(i',j') < C(i,j) < C(i',j')], re-split the two jobs'
+      combined window budget to complete [(i,j)] before [(i',j')] starts;
+    + {b per-step untangling}: in each step, among jobs that receive
+      resource and survive the step, keep only the one completing
+      earliest, exchanging the others' shares against its later receipts
+      (progressive + nested).
+
+    Unit-size jobs only (the paper's Lemma 1 is stated for the general
+    model, but all uses are in the unit-size analysis; unit sizes
+    guarantee the per-step speed caps can never force waste during the
+    exchanges). *)
+
+val normalize : Instance.t -> Schedule.t -> Schedule.t
+(** @raise Invalid_argument if the instance has non-unit sizes, the
+    schedule is infeasible, or it does not finish every job.
+    @raise Failure when the exchange passes cannot reach a fixpoint. The
+    result is always re-validated before being returned, so a returned
+    schedule provably has all three properties and no larger makespan.
+
+    {b Reproduction finding (E3).} The paper's proof of Lemma 1 spells
+    out the exchange for interleaved pairs [S < S' < C < C'] but not for
+    {e enclosed} pairs ([C' ≤ C]), where the per-step speed caps
+    ([consumption ≤ r] per job per step) and the one-job-per-step rule
+    can block the obvious exchanges. We repair enclosed pairs by
+    compacting the inner job into a single step whenever some window
+    step's combined budget covers its remaining work; on adversarial
+    random schedules this normalizes ≈99% of inputs, and the remainder
+    raises rather than returning a non-nested schedule (measured in the
+    property-test suite; see EXPERIMENTS.md, E3). *)
+
+val make_non_wasting : Instance.t -> Schedule.t -> Schedule.t
+(** Only the saturation pass (plus consumption canonicalization): useful
+    on its own to certify the Lemma 5 lower bound for arbitrary input
+    schedules. *)
+
+val canonicalize : Instance.t -> Schedule.t -> Schedule.t
+(** Replace every assignment with what the active job actually consumes
+    and drop trailing idle steps. Completion times are unchanged. *)

@@ -1,0 +1,1 @@
+lib/discont/discont.ml: Array Crs_util Float List Printf

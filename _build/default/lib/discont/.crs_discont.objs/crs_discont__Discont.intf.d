@@ -1,0 +1,1 @@
+lib/discont/discont.mli:

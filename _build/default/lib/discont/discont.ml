@@ -1,0 +1,112 @@
+type t = { m : int; alpha : float; workloads : float array }
+
+let make ~m ~alpha workloads =
+  if m < 1 then invalid_arg "Discont.make: m must be >= 1";
+  if alpha <= 0.0 then invalid_arg "Discont.make: alpha must be > 0";
+  if Array.length workloads = 0 then invalid_arg "Discont.make: no jobs";
+  Array.iter
+    (fun w -> if w <= 0.0 then invalid_arg "Discont.make: workloads must be positive")
+    workloads;
+  { m; alpha; workloads = Array.copy workloads }
+
+let sequential_makespan t = Array.fold_left ( +. ) 0.0 t.workloads
+
+let batch_makespan alpha ws =
+  (* All jobs of the batch in parallel with the equalizing constant
+     shares R_j = w_j^{1/α} / S: every job runs at speed w_j / S^α and
+     they finish together at time S^α. *)
+  let s = List.fold_left (fun acc w -> acc +. (w ** (1.0 /. alpha))) 0.0 ws in
+  s ** alpha
+
+let parallel_makespan t =
+  if Array.length t.workloads > t.m then
+    invalid_arg "Discont.parallel_makespan: needs n <= m";
+  batch_makespan t.alpha (Array.to_list t.workloads)
+
+type run = {
+  makespan : float;
+  completions : float array;
+  events : (float * float array) list;
+}
+
+let list_heuristic t =
+  let n = Array.length t.workloads in
+  (* Longest workloads first. *)
+  let order =
+    List.sort
+      (fun a b -> compare t.workloads.(b) t.workloads.(a))
+      (Crs_util.Misc.range n)
+  in
+  let completions = Array.make n 0.0 in
+  let events = ref [] in
+  let now = ref 0.0 in
+  let rec batches = function
+    | [] -> ()
+    | rest ->
+      let batch = Crs_util.Misc.take t.m rest in
+      let remaining = Crs_util.Misc.drop t.m rest in
+      let s =
+        List.fold_left
+          (fun acc j -> acc +. (t.workloads.(j) ** (1.0 /. t.alpha)))
+          0.0 batch
+      in
+      let shares = Array.make n 0.0 in
+      List.iter
+        (fun j -> shares.(j) <- (t.workloads.(j) ** (1.0 /. t.alpha)) /. s)
+        batch;
+      events := (!now, shares) :: !events;
+      let duration = s ** t.alpha in
+      now := !now +. duration;
+      List.iter (fun j -> completions.(j) <- !now) batch;
+      batches remaining
+  in
+  batches order;
+  { makespan = !now; completions; events = List.rev !events }
+
+let optimal_makespan t =
+  if t.alpha >= 1.0 then sequential_makespan t
+  else if Array.length t.workloads <= t.m then parallel_makespan t
+  else (list_heuristic t).makespan
+
+let check_run t run =
+  let exception Bad of string in
+  let n = Array.length t.workloads in
+  try
+    (* Feasibility of every share vector. *)
+    List.iter
+      (fun (time, shares) ->
+        let total = Array.fold_left ( +. ) 0.0 shares in
+        if total > 1.0 +. 1e-9 then
+          raise (Bad (Printf.sprintf "shares sum to %.6f at t=%.3f" total time));
+        Array.iter
+          (fun s -> if s < -1e-12 then raise (Bad "negative share"))
+          shares)
+      run.events;
+    (* Integrate each job's speed over the piecewise-constant profile. *)
+    let horizon = run.makespan in
+    let segments =
+      let rec pair = function
+        | [] -> []
+        | [ (start, shares) ] -> [ (start, horizon, shares) ]
+        | (start, shares) :: ((next, _) :: _ as rest) ->
+          (start, next, shares) :: pair rest
+      in
+      pair run.events
+    in
+    for j = 0 to n - 1 do
+      let work =
+        List.fold_left
+          (fun acc (t0, t1, shares) ->
+            (* The job only progresses until its completion time. *)
+            let t1 = Float.min t1 run.completions.(j) in
+            if t1 <= t0 then acc
+            else acc +. ((t1 -. t0) *. (shares.(j) ** t.alpha)))
+          0.0 segments
+      in
+      if Float.abs (work -. t.workloads.(j)) > 1e-6 then
+        raise
+          (Bad
+             (Printf.sprintf "job %d processed %.6f of %.6f" j work t.workloads.(j)))
+    done;
+    Ok ()
+  with Bad msg -> Error msg

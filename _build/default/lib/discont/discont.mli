@@ -1,0 +1,66 @@
+(** Discrete-continuous scheduling baseline (paper, Section 2;
+    Józefowska & Weglarz 1998, and the power-rate special case of
+    Józefowska et al. 1999).
+
+    [n] independent, non-preemptable jobs on [m] identical processors
+    share one continuously divisible, renewable resource. Job [j] has
+    workload [w_j] and is processed at speed [f(R_j(t))] when granted the
+    resource share [R_j(t)] ([Σ_j R_j(t) ≤ 1]). We implement the
+    power-rate family [f(R) = R^α], [α > 0]:
+
+    - [α < 1]: [f] concave — sharing the resource is efficient; with
+      [n ≤ m] the optimum processes all jobs in parallel with constant
+      shares and has the closed form [T* = (Σ_j w_j^{1/α})^α].
+    - [α = 1]: all work-conserving policies tie (the resource is a fluid).
+    - [α > 1]: [f] convex — concentration wins; the optimum runs one job
+      at a time at full resource, [T* = Σ_j w_j].
+
+    This is the analytical landscape the paper contrasts itself against
+    ("cases that can be analyzed analytically turn out to feature quite
+    simple solution structures"); CRSharing's own speed function
+    [min(R/r, 1)] is concave with a cap, which is where the simple
+    structures stop working. Floating point throughout — this module is
+    a baseline, not part of the exact core. *)
+
+type t = private { m : int; alpha : float; workloads : float array }
+
+val make : m:int -> alpha:float -> float array -> t
+(** @raise Invalid_argument if [m < 1], [alpha <= 0], no jobs, or a
+    non-positive workload. *)
+
+(** {1 Closed forms} *)
+
+val sequential_makespan : t -> float
+(** One job at a time at full resource: [Σ w_j] (optimal for [α ≥ 1]). *)
+
+val parallel_makespan : t -> float
+(** All jobs simultaneously with constant equalizing shares,
+    [T = (Σ w_j^{1/α})^α]. Requires [n ≤ m].
+    @raise Invalid_argument otherwise. *)
+
+val optimal_makespan : t -> float
+(** The analytical optimum where known: [α ≥ 1] sequential; [α < 1] and
+    [n ≤ m] parallel. For [α < 1], [n > m] falls back to
+    {!list_heuristic} (only an upper bound — the general concave case
+    with processor limits is exactly what the literature solves
+    heuristically). *)
+
+(** {1 Event-driven heuristic} *)
+
+type run = {
+  makespan : float;
+  completions : float array;
+  events : (float * float array) list;
+      (** (time, share vector) at each reallocation *)
+}
+
+val list_heuristic : t -> run
+(** List scheduling: keep up to [m] jobs running (longest workload
+    first); between completion events give the running jobs the constant
+    shares that would let them finish together ([R_j ∝ (w_j^{1/α}]
+    normalized). This mirrors the heuristics surveyed in the paper's
+    Section 2 [8, 9, 16]. *)
+
+val check_run : t -> run -> (unit, string) result
+(** Validates a run: shares feasible at every event, every job finishes
+    exactly at its completion time (numerical tolerance 1e-6). *)

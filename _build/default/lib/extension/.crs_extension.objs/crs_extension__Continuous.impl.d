@@ -1,0 +1,1 @@
+lib/extension/continuous.ml: Array Crs_algorithms Crs_core Crs_num Crs_util Instance Job List

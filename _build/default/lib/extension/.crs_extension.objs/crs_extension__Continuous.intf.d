@@ -1,0 +1,1 @@
+lib/extension/continuous.mli: Crs_core Crs_num

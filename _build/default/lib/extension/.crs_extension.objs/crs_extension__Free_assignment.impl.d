@@ -1,0 +1,1 @@
+lib/extension/free_assignment.ml: Crs_binpack Crs_core List

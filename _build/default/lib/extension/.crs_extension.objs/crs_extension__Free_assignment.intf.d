@@ -1,0 +1,1 @@
+lib/extension/free_assignment.mli: Crs_binpack Crs_core

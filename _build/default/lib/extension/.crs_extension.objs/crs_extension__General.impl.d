@@ -1,0 +1,1 @@
+lib/extension/general.ml: Array Crs_algorithms Crs_core Crs_num Instance Job List Lower_bounds

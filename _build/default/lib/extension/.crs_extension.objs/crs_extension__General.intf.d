@@ -1,0 +1,1 @@
+lib/extension/general.mli: Crs_core Crs_num

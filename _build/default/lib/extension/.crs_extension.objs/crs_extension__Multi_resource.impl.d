@@ -1,0 +1,1 @@
+lib/extension/multi_resource.ml: Array Crs_algorithms Crs_core Crs_num Crs_util List Printf

@@ -1,0 +1,1 @@
+lib/extension/multi_resource.mli: Crs_core Crs_num Stdlib

@@ -1,0 +1,1 @@
+lib/extension/rescale.ml: Array Crs_core Crs_num

@@ -1,0 +1,1 @@
+lib/extension/rescale.mli: Crs_core Crs_num

@@ -1,0 +1,38 @@
+(** Continuous-time CRSharing (paper, Section 9 outlook).
+
+    The scheduler may redistribute the resource at arbitrary (rational)
+    times instead of integer step boundaries; a processor may also move
+    to its next job mid-"step". Completion of a job requires its full
+    work [r·p] at rates capped by [r] per job and 1 in aggregate; a
+    processor still runs one job at a time, but consecutive jobs may abut
+    at any time point.
+
+    The event-driven scheduler here is continuous GreedyBalance: at every
+    completion event, re-sort processors by (remaining job count,
+    remaining work) and pour the rate budget down the list. Everything is
+    exact rational arithmetic. *)
+
+type event = {
+  time : Crs_num.Rational.t;  (** when this allocation interval starts *)
+  rates : Crs_num.Rational.t array;  (** per-processor rates until next event *)
+}
+
+type result = {
+  makespan : Crs_num.Rational.t;
+  events : event list;  (** chronological *)
+  completions : Crs_num.Rational.t array array;  (** completion time per job *)
+}
+
+val greedy_balance : Crs_core.Instance.t -> result
+(** Run continuous GreedyBalance to completion (any job sizes). *)
+
+val work_lower_bound : Crs_core.Instance.t -> Crs_num.Rational.t
+(** Continuous analogue of Observation 1: [makespan ≥ Σ r_ij·p_ij]
+    (no ceiling — time is continuous). Also [≥ max_i Σ_j p_ij]. *)
+
+val discretization_overhead : Crs_core.Instance.t -> Crs_num.Rational.t
+(** Discrete GreedyBalance makespan minus continuous GreedyBalance
+    makespan: the price of step-boundary-only decisions on this instance.
+    Usually positive, but can be negative — the two greedy trajectories
+    differ, and the discrete one occasionally lucks into a better job
+    order (measured in the outlook bench). *)

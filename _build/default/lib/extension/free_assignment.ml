@@ -1,0 +1,20 @@
+module S = Crs_binpack.Splittable
+
+let relaxation instance = S.of_crsharing instance
+
+let lower_bound instance = S.lower_bound (relaxation instance)
+
+let upper_bound instance = S.num_bins (S.next_fit (relaxation instance))
+
+let packing_is_schedulable instance (packing : S.packing) =
+  let m = Crs_core.Instance.m instance in
+  List.for_all
+    (fun bin ->
+      List.length bin <= m
+      &&
+      let items = List.map fst bin in
+      List.length (List.sort_uniq compare items) = List.length items)
+    packing.S.bins
+
+let price_of_fixed_assignment ~exact instance =
+  (lower_bound instance, upper_bound instance, exact instance)

@@ -1,0 +1,34 @@
+(** The Section 9 outlook: "What analytical results are possible if we
+    re-introduce the classical scheduling aspect, where jobs of a task
+    are not a priori fixed to a specific processor?"
+
+    Fully relaxing both the processor binding and the per-task order of
+    unit-size jobs turns CRSharing into exactly the splittable bin
+    packing problem of Section 2 (bins = time steps, cardinality = m, a
+    bin never holds two parts of one job because a job runs on one
+    processor per step). This module makes that correspondence
+    executable and brackets the "price of fixed assignment". *)
+
+val relaxation : Crs_core.Instance.t -> Crs_binpack.Splittable.t
+(** The job multiset as a packing instance ([k = m]); requires at least
+    one positive-work job. *)
+
+val lower_bound : Crs_core.Instance.t -> int
+(** Certified lower bound on the free-assignment optimum (bin packing
+    bounds). *)
+
+val upper_bound : Crs_core.Instance.t -> int
+(** NextFit bins: an achievable free-assignment makespan (each NextFit
+    bin holds at most [m] parts of distinct jobs, so bin [t] maps to time
+    step [t] with one processor per part). *)
+
+val packing_is_schedulable : Crs_core.Instance.t -> Crs_binpack.Splittable.packing -> bool
+(** A packing maps to a free-assignment schedule iff no bin holds two
+    parts of the same job (one processor per job per step) and no bin
+    exceeds [m] parts. *)
+
+val price_of_fixed_assignment :
+  exact:(Crs_core.Instance.t -> int) -> Crs_core.Instance.t -> int * int * int
+(** [(free_lb, free_ub, fixed_opt)]: how much the paper's fixed
+    assignment costs on this instance. Always [free_lb <= fixed_opt]
+    (relaxation) — property-tested. *)

@@ -1,0 +1,26 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let split_integer_sizes instance =
+  let split_job job =
+    let size = Job.size job in
+    match Q.to_int_opt size with
+    | Some p when p >= 1 ->
+      List.init p (fun _ -> Job.unit (Job.requirement job))
+    | _ ->
+      invalid_arg "General.split_integer_sizes: sizes must be positive integers"
+  in
+  Instance.create
+    (Array.map
+       (fun row -> Array.of_list (List.concat_map split_job (Array.to_list row)))
+       (Instance.rows instance))
+
+let ratio_vs_lower_bound algorithm instance =
+  let lb = Lower_bounds.combined instance in
+  let measured = algorithm instance in
+  if lb = 0 then Q.one else Q.of_ints measured lb
+
+let bracket_optimum instance =
+  let lower = Lower_bounds.combined instance in
+  let upper = Crs_algorithms.Solver.optimal_makespan (split_integer_sizes instance) in
+  (lower, upper)

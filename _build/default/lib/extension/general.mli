@@ -1,0 +1,30 @@
+(** Arbitrary job sizes (paper, Section 9: the authors conjecture their
+    results transfer but leave analysis open).
+
+    The core execution semantics ({!Crs_core.Execution}, {!Crs_core.Policy})
+    already handle arbitrary sizes; this module adds the tooling used by
+    the general-size experiments: certified lower bounds, the
+    unit-splitting restriction, and measured-ratio helpers. *)
+
+val split_integer_sizes : Crs_core.Instance.t -> Crs_core.Instance.t
+(** Replace every job of integer size [p] with [p] consecutive unit jobs
+    of the same requirement. This restricts the scheduler (the original
+    job could spread a volume unit across a step boundary; the split jobs
+    cannot), so [OPT(split) ≥ OPT(original)], while work- and job-count
+    lower bounds coincide. Together with an exact solve of the split
+    instance this brackets the general-size optimum:
+    [combined_lower_bound ≤ OPT(original) ≤ OPT(split)].
+    @raise Invalid_argument if some size is not a positive integer. *)
+
+val ratio_vs_lower_bound :
+  (Crs_core.Instance.t -> int) -> Crs_core.Instance.t -> Crs_num.Rational.t
+(** [algorithm makespan / combined lower bound] — a certified upper bound
+    on the algorithm's true approximation factor on this instance (the
+    denominator is a lower bound on OPT). This is how the general-size
+    experiments test the paper's transfer conjecture without a
+    general-size exact solver. *)
+
+val bracket_optimum : Crs_core.Instance.t -> int * int
+(** [(lower, upper)] bounds on the general-size optimum: the combined
+    lower bound, and the exact optimum of the unit-split restriction
+    (needs integer sizes and a small instance; uses {!Crs_algorithms.Solver}). *)

@@ -1,0 +1,18 @@
+module Q = Crs_num.Rational
+
+type extended_job = { requirement : Q.t; size : Q.t }
+
+let make ~requirement ~size =
+  if Q.(requirement <= zero) then invalid_arg "Rescale.make: requirement must be > 0";
+  if Q.(size <= zero) then invalid_arg "Rescale.make: size must be > 0";
+  { requirement; size }
+
+let rescale j =
+  if Q.(j.requirement <= one) then
+    Crs_core.Job.make ~requirement:j.requirement ~size:j.size
+  else
+    Crs_core.Job.make ~requirement:Q.one ~size:(Q.mul j.requirement j.size)
+
+let rescale_instance rows = Crs_core.Instance.create (Array.map (Array.map rescale) rows)
+
+let work j = Crs_core.Job.work (rescale j)

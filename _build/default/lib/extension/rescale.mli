@@ -1,0 +1,23 @@
+(** Requirements above 1 (paper, footnote 3).
+
+    The model caps useful shares at 1, so a job demanding [r > 1] can
+    never run at full speed. The paper's footnote: rescale such a job
+    (requirement [r], volume [p]) to requirement [1] and volume [r·p] —
+    identical completion behaviour under any schedule. This module
+    provides the "extended" job description and the reduction to the core
+    model. *)
+
+type extended_job = { requirement : Crs_num.Rational.t; size : Crs_num.Rational.t }
+(** Like {!Crs_core.Job.t} but with unbounded positive requirement. *)
+
+val make : requirement:Crs_num.Rational.t -> size:Crs_num.Rational.t -> extended_job
+(** @raise Invalid_argument unless requirement > 0 and size > 0. *)
+
+val rescale : extended_job -> Crs_core.Job.t
+(** Identity on jobs with [r ≤ 1]; otherwise requirement 1, volume [r·p]. *)
+
+val rescale_instance : extended_job array array -> Crs_core.Instance.t
+
+val work : extended_job -> Crs_num.Rational.t
+(** [min(r,1)·(effective volume)] — invariant under {!rescale} (checked in
+    tests): rescaling preserves the Observation 1 lower bound. *)

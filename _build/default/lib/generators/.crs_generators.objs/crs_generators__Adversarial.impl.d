@@ -1,0 +1,1 @@
+lib/generators/adversarial.ml: Array Crs_core Crs_num Instance Printf Schedule

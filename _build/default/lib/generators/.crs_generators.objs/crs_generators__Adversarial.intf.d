@@ -1,0 +1,1 @@
+lib/generators/adversarial.mli: Crs_core Crs_num

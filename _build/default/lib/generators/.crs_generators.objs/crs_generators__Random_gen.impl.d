@@ -1,0 +1,1 @@
+lib/generators/random_gen.ml: Array Crs_core Crs_num Instance Job List Random

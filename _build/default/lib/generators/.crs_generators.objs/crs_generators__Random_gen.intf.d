@@ -1,0 +1,1 @@
+lib/generators/random_gen.mli: Crs_core Random

@@ -1,0 +1,125 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let figure1 =
+  Instance.of_percent [ [ 20; 10; 10; 10 ]; [ 50; 55; 90; 55; 10 ]; [ 50; 40; 95 ] ]
+
+let figure2 = Instance.of_percent [ [ 50; 50; 50; 50 ]; [ 100 ]; [ 100 ] ]
+
+let half = Q.half
+
+let figure2_nested_schedule =
+  (* t1: p0 job1 + half of p1; t2: p0 job2 + rest of p1;
+     t3: p0 job3 + half of p2; t4: p0 job4 + rest of p2. *)
+  Schedule.of_rows
+    [|
+      [| half; half; Q.zero |];
+      [| half; half; Q.zero |];
+      [| half; Q.zero; half |];
+      [| half; Q.zero; half |];
+    |]
+
+let figure2_unnested_schedule =
+  (* p1's job is split across t1 and t4; p2's occupies t2-t3 inside it. *)
+  Schedule.of_rows
+    [|
+      [| half; half; Q.zero |];
+      [| half; Q.zero; half |];
+      [| half; Q.zero; half |];
+      [| half; half; Q.zero |];
+    |]
+
+let round_robin_family ~n =
+  if n < 1 then invalid_arg "Adversarial.round_robin_family: n must be >= 1";
+  let eps = Q.of_ints 1 n in
+  let r1 j = Q.mul (Q.of_int j) eps in
+  let r2 j = Q.sub (Q.add Q.one eps) (r1 j) in
+  Instance.of_requirements
+    [|
+      Array.init n (fun j -> r1 (j + 1));
+      Array.init n (fun j -> r2 (j + 1));
+    |]
+
+let round_robin_family_opt_schedule ~n =
+  (* Step 1: processor 2's job 1 alone (requirement 1). Steps t = 2..n:
+     processor 1's job t-1 paired with processor 2's job t — their
+     requirements sum to exactly 1. Step n+1: processor 1's job n
+     (requirement 1) alone. Zero waste, makespan n + 1. *)
+  let eps = Q.of_ints 1 n in
+  Schedule.of_rows
+    (Array.init (n + 1) (fun t0 ->
+         let t = t0 + 1 in
+         if t = 1 then [| Q.zero; Q.one |]
+         else if t <= n then begin
+           let a = Q.mul (Q.of_int (t - 1)) eps in
+           [| a; Q.sub Q.one a |]
+         end
+         else [| Q.one; Q.zero |]))
+
+let round_robin_family_predicted ~n = (2 * n, n + 1)
+
+let default_epsilon ~m ~blocks = Q.of_ints 1 (2 * m * m * blocks)
+
+let greedy_balance_family ?epsilon ~m ~blocks () =
+  if m < 2 then invalid_arg "Adversarial.greedy_balance_family: m must be >= 2";
+  if blocks < 1 then invalid_arg "Adversarial.greedy_balance_family: blocks >= 1";
+  let eps = match epsilon with Some e -> e | None -> default_epsilon ~m ~blocks in
+  if Q.(eps <= zero) then invalid_arg "Adversarial.greedy_balance_family: epsilon <= 0";
+  let n = m * blocks in
+  let r = Array.make_matrix m n Q.zero in
+  for l = 0 to blocks - 1 do
+    let jc = l * m in
+    (* First column. Block 1: staircase r_i = 1 - (i+1)·ε. Later blocks:
+       heavy rows 0..m-2, bottom row completing the diagonal ending here
+       to exactly 1 (this reads the PREVIOUS block's columns, so blocks
+       must be built in order). *)
+    if l = 0 then
+      for i = 0 to m - 1 do
+        r.(i).(0) <- Q.sub Q.one (Q.mul (Q.of_int (i + 1)) eps)
+      done
+    else begin
+      for i = 0 to m - 2 do
+        r.(i).(jc) <- Q.sub Q.one (Q.mul (Q.of_int (m - 1)) eps)
+      done;
+      let diag_sum = ref Q.zero in
+      for i' = 1 to m - 1 do
+        diag_sum := Q.add !diag_sum r.(m - 1 - i').(jc - i')
+      done;
+      r.(m - 1).(jc) <- Q.sub Q.one !diag_sum
+    end;
+    (* Second column: head job collects the first column's slack plus ε
+       (erratum E2: the figure's values satisfy Σ(1-r) + ε); the rest of
+       the block is ε-filler. *)
+    let slack = ref Q.zero in
+    for i = 0 to m - 1 do
+      slack := Q.add !slack (Q.sub Q.one r.(i).(jc))
+    done;
+    r.(0).(jc + 1) <- Q.add !slack eps;
+    for i = 1 to m - 1 do
+      r.(i).(jc + 1) <- eps
+    done;
+    for j = jc + 2 to jc + m - 1 do
+      for i = 0 to m - 1 do
+        r.(i).(j) <- eps
+      done
+    done
+  done;
+  (* Guard every entry; a too-large epsilon would push the bottom-row or
+     head-job requirements outside (0,1). *)
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if not (Q.(v > zero) && Q.(v < one)) then
+            invalid_arg
+              (Printf.sprintf
+                 "Adversarial.greedy_balance_family: requirement (%d,%d)=%s \
+                  outside (0,1); epsilon too large for %d blocks"
+                 i j (Q.to_string v) blocks))
+        row)
+    r;
+  Instance.of_requirements r
+
+let greedy_balance_family_predicted ~m ~blocks = (2 * m - 1) * blocks
+
+let figure5 = greedy_balance_family ~epsilon:(Q.of_ints 1 100) ~m:3 ~blocks:3 ()

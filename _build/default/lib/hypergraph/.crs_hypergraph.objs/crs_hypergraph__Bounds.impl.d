@@ -1,0 +1,1 @@
+lib/hypergraph/bounds.ml: Crs_core Crs_num List Sched_graph

@@ -1,0 +1,1 @@
+lib/hypergraph/bounds.mli: Crs_core Crs_num Sched_graph

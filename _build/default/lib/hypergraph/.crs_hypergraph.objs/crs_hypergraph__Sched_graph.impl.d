@@ -1,0 +1,1 @@
+lib/hypergraph/sched_graph.ml: Array Crs_core Crs_num Crs_util Execution Format Hashtbl Instance Job List Printf

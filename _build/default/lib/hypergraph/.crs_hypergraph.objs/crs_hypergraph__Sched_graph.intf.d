@@ -1,0 +1,1 @@
+lib/hypergraph/sched_graph.mli: Crs_core Crs_num Format

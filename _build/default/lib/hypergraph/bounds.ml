@@ -1,0 +1,42 @@
+module Q = Crs_num.Rational
+
+let lemma5 g =
+  List.fold_left (fun acc (c : Sched_graph.component) -> acc + c.num_edges - 1) 0
+    (Sched_graph.components g)
+
+let lemma6 g =
+  match List.rev (Sched_graph.components g) with
+  | [] -> Q.zero
+  | last :: earlier_rev ->
+    let m = Sched_graph.m g in
+    let early_sum =
+      List.fold_left
+        (fun acc (c : Sched_graph.component) ->
+          Q.add acc (Q.of_ints (List.length c.nodes) c.cls))
+        Q.zero earlier_rev
+    in
+    Q.add early_sum (Q.of_ints (List.length last.nodes) m)
+
+let lemma6_int g = Q.ceil_int (lemma6 g)
+
+let combined g instance =
+  max
+    (Crs_core.Lower_bounds.combined instance)
+    (max (lemma5 g) (lemma6_int g))
+
+let average_edges_per_component g =
+  let n = Sched_graph.num_components g in
+  if n = 0 then Q.zero else Q.of_ints (Sched_graph.num_edges g) n
+
+let theorem7_bound ~m = Q.sub Q.two (Q.of_ints 1 m)
+
+let theorem7_ratio_bounds g ~m =
+  let avg = average_edges_per_component g in
+  let eq10 =
+    if Q.(avg <= one) then None
+    else Some (Q.div avg (Q.sub avg Q.one))
+  in
+  let eq11 =
+    Q.div (Q.mul (Q.of_int m) avg) (Q.add avg (Q.of_int (m - 1)))
+  in
+  (eq10, eq11)

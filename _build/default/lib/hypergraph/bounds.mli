@@ -1,0 +1,38 @@
+(** Lower bounds on the optimal makespan derived from a schedule's
+    hypergraph (paper, Section 8.1).
+
+    Both bounds are statements about [OPT], computed from an arbitrary
+    schedule [S] of the right kind: Lemma 5 needs [S] non-wasting, Lemma 6
+    needs [S] balanced. Callers are responsible for the precondition
+    (tests pair these with {!Crs_core.Properties}). *)
+
+val lemma5 : Sched_graph.t -> int
+(** [OPT ≥ Σ_k (#_k − 1)] for the graph of a non-wasting schedule: within
+    a component every step but the last uses the full resource. *)
+
+val lemma6 : Sched_graph.t -> Crs_num.Rational.t
+(** [OPT ≥ n ≥ Σ_{k<N} |C_k|/q_k + |C_N|/m] for a balanced schedule. The
+    exact rational value is returned; compare with [Q.ceil]. *)
+
+val lemma6_int : Sched_graph.t -> int
+(** [⌈lemma6⌉] (makespans are integral). *)
+
+val combined : Sched_graph.t -> Crs_core.Instance.t -> int
+(** Max of Observation 1, the job-count bound, Lemma 5 and Lemma 6 — the
+    strongest certified lower bound available from this schedule. Only
+    valid if the schedule is non-wasting and balanced. *)
+
+val average_edges_per_component : Sched_graph.t -> Crs_num.Rational.t
+(** The paper's [#_∅] used in the Theorem 7 proof; exposed for the
+    analysis-replication tests. *)
+
+val theorem7_bound : m:int -> Crs_num.Rational.t
+(** The approximation guarantee [2 − 1/m] of Theorem 7. *)
+
+val theorem7_ratio_bounds :
+  Sched_graph.t -> m:int -> Crs_num.Rational.t option * Crs_num.Rational.t
+(** The two intermediate bounds from the proof of Theorem 7,
+    [#_∅/(#_∅−1)] (Eq. 10) and [m·#_∅/(#_∅+m−1)] (Eq. 11), evaluated on
+    this schedule's graph. Their minimum upper-bounds [S/OPT] for a
+    non-wasting, progressive, balanced [S]. The first is [None] when
+    [#_∅ = 1] (the Eq. 10 bound degenerates to [+∞]). *)

@@ -1,0 +1,159 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+type node = int * int
+
+type component = {
+  index : int;
+  nodes : node list;
+  first_step : int;
+  last_step : int;
+  num_edges : int;
+  cls : int;
+}
+
+type t = {
+  instance : Instance.t;
+  edges : node list array;  (* edges.(t-1) = e_t *)
+  comps : component list;
+}
+
+let node_ids instance =
+  (* Dense ids for union-find: prefix sums of row lengths. *)
+  let m = Instance.m instance in
+  let offsets = Array.make m 0 in
+  let total = ref 0 in
+  for i = 0 to m - 1 do
+    offsets.(i) <- !total;
+    total := !total + Instance.n_i instance i
+  done;
+  let id (i, j) = offsets.(i) + j in
+  (id, !total)
+
+let of_trace (trace : Execution.trace) =
+  if not (Instance.is_unit_size trace.instance) then
+    invalid_arg "Sched_graph.of_trace: hypergraph defined for unit-size jobs";
+  if not trace.completed then
+    invalid_arg "Sched_graph.of_trace: trace does not finish all jobs";
+  let instance = trace.instance in
+  let makespan = Execution.makespan trace in
+  let edges = Array.init makespan (fun t -> Execution.active_jobs trace (t + 1)) in
+  let id, total = node_ids instance in
+  let uf = Crs_util.Union_find.create (max total 1) in
+  Array.iter
+    (fun edge ->
+      match edge with
+      | [] -> ()
+      | first :: rest -> List.iter (fun n -> Crs_util.Union_find.union uf (id first) (id n)) rest)
+    edges;
+  (* Group consecutive edges by component representative. Observation 2
+     guarantees the representative changes only between components, so a
+     simple scan suffices. *)
+  let comps = ref [] in
+  let cur_rep = ref (-1) in
+  let cur_first = ref 0 in
+  let cur_edges = ref 0 in
+  let flush last_step =
+    if !cur_rep >= 0 then begin
+      let first = !cur_first in
+      let first_edge = edges.(first - 1) in
+      comps :=
+        {
+          index = 0;
+          nodes = [];
+          first_step = first;
+          last_step;
+          num_edges = !cur_edges;
+          cls = List.length first_edge;
+        }
+        :: !comps
+    end
+  in
+  Array.iteri
+    (fun t edge ->
+      match edge with
+      | [] -> ()
+      | first :: _ ->
+        let rep = Crs_util.Union_find.find uf (id first) in
+        if rep <> !cur_rep then begin
+          flush t;
+          cur_rep := rep;
+          cur_first := t + 1;
+          cur_edges := 1
+        end
+        else incr cur_edges)
+    edges;
+  flush makespan;
+  let comps = List.rev !comps in
+  (* Attach sorted member lists: collect the nodes of each component's
+     step range. *)
+  let comps =
+    List.mapi
+      (fun k c ->
+        let members = Hashtbl.create 16 in
+        for t = c.first_step to c.last_step do
+          List.iter (fun n -> Hashtbl.replace members n ()) edges.(t - 1)
+        done;
+        let nodes = Hashtbl.fold (fun n () acc -> n :: acc) members [] in
+        { c with index = k; nodes = List.sort compare nodes })
+      comps
+  in
+  { instance; edges; comps }
+
+let instance g = g.instance
+let m g = Instance.m g.instance
+let num_nodes g = Instance.total_jobs g.instance
+let num_edges g = Array.length g.edges
+
+let edge g t =
+  if t < 1 || t > num_edges g then invalid_arg "Sched_graph.edge: step out of range";
+  g.edges.(t - 1)
+
+let weight g (i, j) = Job.requirement (Instance.job g.instance i j)
+let components g = g.comps
+let num_components g = List.length g.comps
+
+let component_of_step g t =
+  match List.find_opt (fun c -> c.first_step <= t && t <= c.last_step) g.comps with
+  | Some c -> c
+  | None -> invalid_arg "Sched_graph.component_of_step: step out of range"
+
+let check_observation_2 g =
+  (* Components must tile [1..makespan] contiguously in order. *)
+  let rec go expected = function
+    | [] ->
+      if expected = num_edges g + 1 then Ok ()
+      else Error (Printf.sprintf "components end at %d, makespan %d" (expected - 1) (num_edges g))
+    | c :: rest ->
+      if c.first_step <> expected then
+        Error
+          (Printf.sprintf "component %d starts at %d, expected %d" c.index
+             c.first_step expected)
+      else if c.last_step - c.first_step + 1 <> c.num_edges then
+        Error (Printf.sprintf "component %d is not contiguous" c.index)
+      else go (c.last_step + 1) rest
+  in
+  go 1 g.comps
+
+let check_class_monotone g =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if a.cls < b.cls then
+        Error
+          (Printf.sprintf "class increases from component %d (q=%d) to %d (q=%d)"
+             a.index a.cls b.index b.cls)
+      else go rest
+    | _ -> Ok ()
+  in
+  go g.comps
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>hypergraph: %d nodes, %d edges, %d components@,"
+    (num_nodes g) (num_edges g) (num_components g);
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "C%d: steps %d-%d, #%d edges, class %d, %d nodes@,"
+        (c.index + 1) c.first_step c.last_step c.num_edges c.cls
+        (List.length c.nodes))
+    g.comps;
+  Format.fprintf fmt "@]"

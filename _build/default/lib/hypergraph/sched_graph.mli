@@ -1,0 +1,59 @@
+(** The scheduling hypergraph [H_S] of a schedule for unit-size jobs
+    (paper, Section 3.2).
+
+    Nodes are the jobs [(i,j)], weighted by their resource requirements;
+    edge [e_t] contains the jobs active during time step [t]. Connected
+    components of [H_S] are contiguous runs of time steps (Observation 2)
+    and carry the structural information used by the Lemma 5 and Lemma 6
+    lower bounds. *)
+
+type node = int * int
+(** Job [(processor, index)], 0-based. *)
+
+type component = {
+  index : int;  (** 0-based, in left-to-right (time) order *)
+  nodes : node list;  (** members, sorted *)
+  first_step : int;  (** 1-based first time step of the component *)
+  last_step : int;
+  num_edges : int;  (** the paper's [#_k] *)
+  cls : int;  (** the paper's class [q_k]: size of the first edge *)
+}
+
+type t
+
+val of_trace : Crs_core.Execution.trace -> t
+(** Build [H_S]. @raise Invalid_argument on a non-unit-size instance or an
+    incomplete trace (the hypergraph is defined for finished schedules). *)
+
+val instance : t -> Crs_core.Instance.t
+val m : t -> int
+(** Number of processors of the underlying instance. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+(** Equals the schedule's makespan. *)
+
+val edge : t -> int -> node list
+(** [edge g t] is [e_t], 1-based. Never empty for [t] up to the makespan. *)
+
+val weight : t -> node -> Crs_num.Rational.t
+(** The node's resource requirement. *)
+
+val components : t -> component list
+(** Ordered left to right; their [num_edges] sum to the makespan. *)
+
+val num_components : t -> int
+
+val component_of_step : t -> int -> component
+(** Component whose step range contains the given 1-based step. *)
+
+val check_observation_2 : t -> (unit, string) result
+(** Every component's edges form a contiguous interval of time steps. True
+    by construction; exposed for tests. *)
+
+val check_class_monotone : t -> (unit, string) result
+(** Component classes [q_k] are non-increasing in [k] for balanced
+    schedules (paper, remark after Definition 1). Only meaningful when the
+    underlying schedule is balanced. *)
+
+val pp : Format.formatter -> t -> unit

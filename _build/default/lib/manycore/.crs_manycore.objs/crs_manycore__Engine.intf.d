@@ -1,0 +1,1 @@
+lib/manycore/engine.mli: Policy Task

@@ -1,0 +1,1 @@
+lib/manycore/policy.ml: Array Float List

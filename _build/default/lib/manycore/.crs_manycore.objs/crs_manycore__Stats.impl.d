@@ -1,0 +1,1 @@
+lib/manycore/stats.ml: Array Engine Float Format Printf Task

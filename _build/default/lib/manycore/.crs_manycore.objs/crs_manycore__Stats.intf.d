@@ -1,0 +1,1 @@
+lib/manycore/stats.mli: Engine Format Task

@@ -1,0 +1,1 @@
+lib/manycore/task.mli: Format

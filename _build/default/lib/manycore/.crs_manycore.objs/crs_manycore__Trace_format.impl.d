@@ -1,0 +1,1 @@
+lib/manycore/trace_format.ml: Array Buffer Engine Fun In_channel List Printf String Task

@@ -1,0 +1,1 @@
+lib/manycore/trace_format.mli: Engine Task

@@ -1,0 +1,1 @@
+lib/manycore/workload.ml: Array Crs_core Crs_num Float List Printf Random Task

@@ -1,0 +1,1 @@
+lib/manycore/workload.mli: Crs_core Random Task

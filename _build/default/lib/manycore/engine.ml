@@ -1,0 +1,113 @@
+type tick_record = {
+  time : int;
+  shares : float array;
+  used : float array;
+  phases_finished : (int * int) list;
+}
+
+type result = {
+  makespan : int;
+  completion : int array;
+  records : tick_record list;
+  wasted_bandwidth : float;
+}
+
+type core_state = {
+  mutable phases : Task.phase list;  (** current phase at head *)
+  mutable remaining : float;  (** volume/duration left in head phase *)
+  mutable done_count : int;
+}
+
+let head_remaining = function
+  | [] -> 0.0
+  | Task.Compute d :: _ -> d
+  | Task.Io { volume; _ } :: _ -> volume
+
+let run ?(max_ticks = 1_000_000) (policy : Policy.t) tasks =
+  let n = Array.length tasks in
+  if n = 0 then invalid_arg "Engine.run: no tasks";
+  let cores =
+    Array.map
+      (fun (t : Task.t) ->
+        { phases = t.phases; remaining = head_remaining t.phases; done_count = 0 })
+      tasks
+  in
+  let completion = Array.make n 0 in
+  let records = ref [] in
+  let wasted = ref 0.0 in
+  let finished () = Array.for_all (fun c -> c.phases = []) cores in
+  let time = ref 0 in
+  while not (finished ()) do
+    incr time;
+    if !time > max_ticks then failwith "Engine.run: tick budget exceeded";
+    let t = !time in
+    let views =
+      Array.mapi
+        (fun i c ->
+          let demand =
+            match c.phases with
+            | Task.Io { demand; _ } :: _ -> demand
+            | _ -> 0.0
+          in
+          let remaining_work =
+            List.fold_left
+              (fun acc -> function
+                | Task.Compute _ -> acc
+                | Task.Io { demand; volume } -> acc +. (demand *. volume))
+              0.0 c.phases
+            -.
+            (match c.phases with
+            | Task.Io { demand; volume } :: _ ->
+              demand *. (volume -. c.remaining)
+            | _ -> 0.0)
+          in
+          {
+            Policy.core = i;
+            demand;
+            remaining_volume = c.remaining;
+            remaining_phases = List.length c.phases;
+            remaining_work;
+          })
+        cores
+    in
+    let shares = policy.allocate views in
+    let total = Array.fold_left ( +. ) 0.0 shares in
+    if total > 1.0 +. 1e-9 then
+      failwith (Printf.sprintf "Engine.run: policy %s over-allocates (%.6f)" policy.name total);
+    let used = Array.make n 0.0 in
+    let phases_finished = ref [] in
+    Array.iteri
+      (fun i c ->
+        match c.phases with
+        | [] -> ()
+        | phase :: rest ->
+          let speed =
+            match phase with
+            | Task.Compute _ -> 1.0
+            | Task.Io { demand; _ } -> Float.min (shares.(i) /. demand) 1.0
+          in
+          let progress = Float.min speed c.remaining in
+          (match phase with
+          | Task.Compute _ -> ()
+          | Task.Io { demand; _ } -> used.(i) <- progress *. demand);
+          c.remaining <- c.remaining -. progress;
+          if c.remaining <= 1e-9 then begin
+            phases_finished := (i, c.done_count) :: !phases_finished;
+            c.done_count <- c.done_count + 1;
+            c.phases <- rest;
+            c.remaining <- head_remaining rest;
+            if rest = [] then completion.(i) <- t
+          end)
+      cores;
+    let used_total = Array.fold_left ( +. ) 0.0 used in
+    wasted := !wasted +. Float.max 0.0 (1.0 -. used_total);
+    records :=
+      { time = t; shares; used; phases_finished = List.rev !phases_finished }
+      :: !records
+  done;
+  {
+    makespan = !time;
+    completion;
+    records = List.rev !records;
+    wasted_bandwidth = !wasted;
+  }

@@ -1,0 +1,25 @@
+(** Tick-based simulation of [n] cores sharing one bus.
+
+    Each tick: build the per-core views, ask the policy for an
+    allocation, advance every core's current phase — compute phases at
+    full speed, I/O phases at [share/demand] (capped at 1). One phase per
+    core per tick boundary: a phase finishing mid-tick leaves the rest of
+    the tick unused, exactly like the discrete CRSharing model. *)
+
+type tick_record = {
+  time : int;
+  shares : float array;
+  used : float array;  (** bandwidth actually consumed *)
+  phases_finished : (int * int) list;  (** (core, phase index) *)
+}
+
+type result = {
+  makespan : int;  (** ticks until every task finished *)
+  completion : int array;  (** per-core completion tick *)
+  records : tick_record list;  (** chronological *)
+  wasted_bandwidth : float;  (** Σ (1 − used) over ticks before makespan *)
+}
+
+val run : ?max_ticks:int -> Policy.t -> Task.t array -> result
+(** One task per core. @raise Failure if [max_ticks] (default 1_000_000)
+    elapse before completion or the policy over-allocates. *)

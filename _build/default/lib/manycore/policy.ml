@@ -1,0 +1,119 @@
+type core_view = {
+  core : int;
+  demand : float;
+  remaining_volume : float;
+  remaining_phases : int;
+  remaining_work : float;
+}
+
+type t = { name : string; allocate : core_view array -> float array }
+
+(* Most bandwidth the core's current phase can absorb this tick. *)
+let usable v = if v.demand <= 0.0 then 0.0 else v.demand *. Float.min v.remaining_volume 1.0
+
+let fair_share =
+  let allocate views =
+    let n = Array.length views in
+    let alloc = Array.make n 0.0 in
+    let budget = ref 1.0 in
+    let continue_ = ref true in
+    (* Water-filling: split the remaining budget equally among cores that
+       can still absorb more; repeat until everyone is capped or the
+       budget is gone. Terminates in <= n rounds (each round caps at
+       least one core or exhausts the budget). *)
+    while !continue_ && !budget > 1e-12 do
+      let hungry =
+        Array.to_list views
+        |> List.filter (fun v -> usable v -. alloc.(v.core) > 1e-12)
+      in
+      if hungry = [] then continue_ := false
+      else begin
+        let fair = !budget /. float_of_int (List.length hungry) in
+        let all_capped = ref true in
+        List.iter
+          (fun v ->
+            let need = usable v -. alloc.(v.core) in
+            let give = Float.min fair need in
+            if give < need then all_capped := false;
+            alloc.(v.core) <- alloc.(v.core) +. give;
+            budget := !budget -. give)
+          hungry;
+        if !all_capped then () (* loop again: freed budget may remain *)
+      end
+    done;
+    alloc
+  in
+  { name = "fair-share"; allocate }
+
+let demand_proportional =
+  let allocate views =
+    let total = Array.fold_left (fun acc v -> acc +. v.demand) 0.0 views in
+    Array.map
+      (fun v ->
+        if total <= 0.0 then 0.0
+        else Float.min (v.demand /. total) (usable v))
+      views
+    |> fun arr ->
+    let by_core = Array.make (Array.length views) 0.0 in
+    Array.iteri (fun k share -> by_core.(views.(k).core) <- share) arr;
+    by_core
+  in
+  { name = "demand-proportional"; allocate }
+
+let pour order views =
+  let alloc = Array.make (Array.length views) 0.0 in
+  let budget = ref 1.0 in
+  List.iter
+    (fun v ->
+      let give = Float.min (usable v) !budget in
+      alloc.(v.core) <- give;
+      budget := !budget -. give)
+    order;
+  alloc
+
+let first_come =
+  let allocate views =
+    let order =
+      Array.to_list views |> List.sort (fun a b -> compare a.core b.core)
+    in
+    pour order views
+  in
+  { name = "first-come"; allocate }
+
+let greedy_balance =
+  let allocate views =
+    let order =
+      Array.to_list views
+      |> List.sort (fun a b ->
+             if a.remaining_phases <> b.remaining_phases then
+               compare b.remaining_phases a.remaining_phases
+             else if a.remaining_work <> b.remaining_work then
+               compare b.remaining_work a.remaining_work
+             else compare a.core b.core)
+    in
+    pour order views
+  in
+  { name = "greedy-balance"; allocate }
+
+let round_robin_phases =
+  let allocate views =
+    let unfinished = Array.to_list views |> List.filter (fun v -> v.remaining_phases > 0) in
+    match unfinished with
+    | [] -> Array.make (Array.length views) 0.0
+    | _ ->
+      let phase v = v.remaining_phases in
+      (* The paper's RoundRobin gates by phase index from the start; with
+         per-core phase counts we gate on the MAXIMUM remaining count,
+         which is the same discipline when all tasks have equally many
+         phases and a natural generalization otherwise. *)
+      let front = List.fold_left (fun acc v -> max acc (phase v)) 0 unfinished in
+      let order =
+        unfinished
+        |> List.filter (fun v -> phase v = front)
+        |> List.sort (fun a b -> compare a.core b.core)
+      in
+      pour order views
+  in
+  { name = "round-robin"; allocate }
+
+let all = [ fair_share; demand_proportional; first_come; greedy_balance; round_robin_phases ]

@@ -1,0 +1,37 @@
+(** Bandwidth-allocation policies for the bus simulator.
+
+    A policy sees the per-core view at the start of a tick — current
+    phase kind, bandwidth demand, remaining volume, remaining phase
+    count — and returns each core's bus share (summing to at most 1;
+    the engine asserts feasibility up to float slack). *)
+
+type core_view = {
+  core : int;
+  demand : float;  (** 0.0 during compute phases or when idle *)
+  remaining_volume : float;  (** of the current phase *)
+  remaining_phases : int;  (** including the current one; 0 = done *)
+  remaining_work : float;  (** Σ demand·volume over remaining I/O phases *)
+}
+
+type t = { name : string; allocate : core_view array -> float array }
+
+val fair_share : t
+(** Water-filling: equal split among demanding cores, with surplus from
+    cores that need less than their split redistributed until exhausted. *)
+
+val demand_proportional : t
+(** Shares proportional to current demands, capped at the demand. *)
+
+val first_come : t
+(** Fixed priority by core index — the staircase policy. *)
+
+val greedy_balance : t
+(** The paper's GreedyBalance lifted to the simulator: priority by
+    remaining phase count, then by remaining work of the current phase;
+    pour the bus down the priority list. *)
+
+val round_robin_phases : t
+(** The paper's RoundRobin: only cores in the lowest unfinished phase
+    index receive bandwidth. *)
+
+val all : t list

@@ -1,0 +1,49 @@
+type t = {
+  makespan : int;
+  avg_completion : float;
+  max_slowdown : float;
+  avg_slowdown : float;
+  bus_utilization : float;
+  wasted_bandwidth : float;
+}
+
+let of_result tasks (r : Engine.result) =
+  let n = Array.length tasks in
+  let completions = Array.map float_of_int r.completion in
+  let slowdowns =
+    Array.mapi
+      (fun i c ->
+        let ideal = Task.total_ideal_ticks tasks.(i) in
+        if ideal <= 0.0 then 1.0 else c /. ideal)
+      completions
+  in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (max 1 n) in
+  {
+    makespan = r.makespan;
+    avg_completion = mean completions;
+    max_slowdown = Array.fold_left Float.max 0.0 slowdowns;
+    avg_slowdown = mean slowdowns;
+    bus_utilization =
+      (if r.makespan = 0 then 0.0
+       else 1.0 -. (r.wasted_bandwidth /. float_of_int r.makespan));
+    wasted_bandwidth = r.wasted_bandwidth;
+  }
+
+let header =
+  [ "makespan"; "avg-completion"; "max-slowdown"; "avg-slowdown"; "bus-util" ]
+
+let to_row t =
+  [
+    string_of_int t.makespan;
+    Printf.sprintf "%.1f" t.avg_completion;
+    Printf.sprintf "%.2f" t.max_slowdown;
+    Printf.sprintf "%.2f" t.avg_slowdown;
+    Printf.sprintf "%.1f%%" (100.0 *. t.bus_utilization);
+  ]
+
+let pp fmt t =
+  Format.fprintf fmt
+    "makespan %d | avg completion %.1f | slowdown max %.2f avg %.2f | bus \
+     utilization %.1f%%"
+    t.makespan t.avg_completion t.max_slowdown t.avg_slowdown
+    (100.0 *. t.bus_utilization)

@@ -1,0 +1,22 @@
+(** Derived metrics from a simulation run. *)
+
+type t = {
+  makespan : int;
+  avg_completion : float;
+  max_slowdown : float;
+      (** worst per-task [completion / ideal_runtime] (≥ 1 up to tick
+          rounding) *)
+  avg_slowdown : float;
+  bus_utilization : float;  (** mean consumed bandwidth per tick *)
+  wasted_bandwidth : float;
+}
+
+val of_result : Task.t array -> Engine.result -> t
+
+val to_row : t -> string list
+(** For tabular rendering: makespan, avg completion, slowdowns,
+    utilization. *)
+
+val header : string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type phase =
+  | Compute of float
+  | Io of { demand : float; volume : float }
+
+type t = { name : string; phases : phase list }
+
+let make ~name phases =
+  if phases = [] then invalid_arg "Task.make: empty phase list";
+  List.iter
+    (function
+      | Compute d -> if d <= 0.0 then invalid_arg "Task.make: non-positive compute duration"
+      | Io { demand; volume } ->
+        if demand <= 0.0 || demand > 1.0 then
+          invalid_arg "Task.make: demand must lie in (0,1]";
+        if volume <= 0.0 then invalid_arg "Task.make: non-positive volume")
+    phases;
+  { name; phases }
+
+let phase_ideal = function
+  | Compute d -> d
+  | Io { volume; _ } -> volume
+
+let total_ideal_ticks t = List.fold_left (fun acc p -> acc +. phase_ideal p) 0.0 t.phases
+let num_phases t = List.length t.phases
+
+let io_fraction t =
+  let io =
+    List.fold_left
+      (fun acc -> function Compute _ -> acc | Io { volume; _ } -> acc +. volume)
+      0.0 t.phases
+  in
+  let total = total_ideal_ticks t in
+  if total <= 0.0 then 0.0 else io /. total
+
+let pp fmt t =
+  Format.fprintf fmt "task %s (%d phases, ideal %.1f ticks, %.0f%% I/O)" t.name
+    (num_phases t) (total_ideal_ticks t) (100.0 *. io_fraction t)

@@ -1,0 +1,31 @@
+(** Tasks for the many-core bus simulator.
+
+    A task is a sequence of phases, each either pure compute (no bus
+    needed) or I/O-bound with a bandwidth demand: exactly the paper's
+    picture of a program as "a number of jobs that must be processed
+    sequentially, one after another", where each job is "a phase of the
+    task's processing where the resource requirement is constant"
+    (Section 1). The simulator is float-based — it plays the role of the
+    authors' missing testbed, while the analysis layer stays exact. *)
+
+type phase =
+  | Compute of float  (** duration in ticks at full speed *)
+  | Io of { demand : float; volume : float }
+      (** [demand ∈ (0,1]]: bus fraction needed for full speed; [volume]:
+          ticks of I/O at full speed *)
+
+type t = { name : string; phases : phase list }
+
+val make : name:string -> phase list -> t
+(** @raise Invalid_argument on empty phases, non-positive durations or
+    volumes, or demands outside (0,1]. *)
+
+val total_ideal_ticks : t -> float
+(** Runtime when always granted its full demand. *)
+
+val num_phases : t -> int
+
+val io_fraction : t -> float
+(** Share of ideal runtime spent in I/O phases: 1.0 = pure I/O. *)
+
+val pp : Format.formatter -> t -> unit

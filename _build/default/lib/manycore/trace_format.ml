@@ -1,0 +1,153 @@
+let to_string tasks =
+  let buf = Buffer.create 512 in
+  Array.iter
+    (fun (t : Task.t) ->
+      Buffer.add_string buf (Printf.sprintf "task %s\n" t.Task.name);
+      List.iter
+        (fun phase ->
+          match phase with
+          | Task.Compute d -> Buffer.add_string buf (Printf.sprintf "  compute %g\n" d)
+          | Task.Io { demand; volume } ->
+            Buffer.add_string buf (Printf.sprintf "  io %g %g\n" demand volume))
+        t.Task.phases)
+    tasks;
+  Buffer.contents buf
+
+let parse text =
+  let exception Bad of string in
+  let tasks = ref [] in
+  let current_name = ref None in
+  let current_phases = ref [] in
+  let flush () =
+    match !current_name with
+    | None ->
+      if !current_phases <> [] then raise (Bad "phases before any 'task' line")
+    | Some name ->
+      if !current_phases = [] then raise (Bad (Printf.sprintf "task %s has no phases" name));
+      tasks := Task.make ~name (List.rev !current_phases) :: !tasks;
+      current_name := None;
+      current_phases := []
+  in
+  let float_of token =
+    match float_of_string_opt token with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "not a number: %s" token))
+  in
+  try
+    List.iteri
+      (fun lineno raw ->
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then ()
+        else begin
+          let tokens =
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          in
+          match tokens with
+          | [ "task"; name ] ->
+            flush ();
+            current_name := Some name
+          | [ "compute"; d ] ->
+            if !current_name = None then
+              raise (Bad (Printf.sprintf "line %d: phase outside a task" (lineno + 1)));
+            current_phases := Task.Compute (float_of d) :: !current_phases
+          | [ "io"; demand; volume ] ->
+            if !current_name = None then
+              raise (Bad (Printf.sprintf "line %d: phase outside a task" (lineno + 1)));
+            current_phases :=
+              Task.Io { demand = float_of demand; volume = float_of volume }
+              :: !current_phases
+          | _ -> raise (Bad (Printf.sprintf "line %d: cannot parse %S" (lineno + 1) line))
+        end)
+      (String.split_on_char '\n' text);
+    flush ();
+    match List.rev !tasks with
+    | [] -> Error "no tasks in trace"
+    | l -> Ok (Array.of_list l)
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse (In_channel.input_all ic))
+  with Sys_error msg -> Error msg
+
+let save path tasks =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string tasks))
+
+let run_to_csv (r : Engine.result) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "tick,core,share,used,phase_finished\n";
+  List.iter
+    (fun (rec_ : Engine.tick_record) ->
+      Array.iteri
+        (fun core share ->
+          let finished =
+            if List.exists (fun (c, _) -> c = core) rec_.Engine.phases_finished then 1
+            else 0
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%.6f,%.6f,%d\n" rec_.Engine.time core share
+               rec_.Engine.used.(core) finished))
+        rec_.Engine.shares)
+    r.Engine.records;
+  Buffer.contents buf
+
+let timeline_svg ?(cell = 14) tasks (r : Engine.result) =
+  let cores = Array.length tasks in
+  let ticks = r.Engine.makespan in
+  let label_w = 90 in
+  let header_h = 18 in
+  let width = label_w + (ticks * cell) + 4 in
+  let height = header_h + (cores * cell) + 4 in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"9\">\n"
+       width height width height);
+  Buffer.add_string buf "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  let records = Array.of_list r.Engine.records in
+  for core = 0 to cores - 1 do
+    let y0 = header_h + (core * cell) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" text-anchor=\"end\" fill=\"#333\">%s</text>\n"
+         (label_w - 6)
+         (y0 + cell - 4)
+         tasks.(core).Task.name);
+    Array.iter
+      (fun (rec_ : Engine.tick_record) ->
+        let t = rec_.Engine.time - 1 in
+        let x0 = label_w + (t * cell) in
+        let used = rec_.Engine.used.(core) in
+        if used > 0.0 then begin
+          let h = int_of_float (float_of_int cell *. used) in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#4e79a7\"/>\n"
+               x0
+               (y0 + cell - h)
+               (cell - 1) (max 1 h))
+        end
+        else if core < cores && rec_.Engine.time <= r.Engine.completion.(core) then
+          (* Running but not on the bus: a compute phase. *)
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#ddd\"/>\n"
+               x0 (y0 + cell - 3) (cell - 1) 3);
+        if List.exists (fun (c, _) -> c = core) rec_.Engine.phases_finished then
+          Buffer.add_string buf
+            (Printf.sprintf "<circle cx=\"%d\" cy=\"%d\" r=\"2\" fill=\"#e15759\"/>\n"
+               (x0 + (cell / 2))
+               (y0 + 3)))
+      records
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Text format for simulator workloads, so measured or hand-written
+    task mixes can be replayed (the stand-in for the production traces
+    the paper's scenario alludes to; see DESIGN.md substitutions).
+
+    {v
+    # comment
+    task matmul
+      compute 2.5
+      io 0.8 3
+      compute 1
+    task backup
+      io 0.5 12
+    v}
+
+    [io DEMAND VOLUME] with demand in (0,1]; [compute DURATION]. *)
+
+val parse : string -> (Task.t array, string) result
+val to_string : Task.t array -> string
+val load : string -> (Task.t array, string) result
+val save : string -> Task.t array -> unit
+
+(** {1 Run export} *)
+
+val run_to_csv : Engine.result -> string
+(** One row per (tick, core): [tick,core,share,used,phase_finished]. *)
+
+val timeline_svg : ?cell:int -> Task.t array -> Engine.result -> string
+(** Cores as rows, ticks as columns; fill height = bus share consumed,
+    gray = compute phase (no bus), dot = phase completion. *)

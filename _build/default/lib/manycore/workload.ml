@@ -1,0 +1,82 @@
+module Q = Crs_num.Rational
+
+let uniform st lo hi = lo +. (Random.State.float st (hi -. lo))
+
+let io_burst ~cores ~phases ~io_intensity st =
+  if io_intensity <= 0.0 || io_intensity > 1.0 then
+    invalid_arg "Workload.io_burst: io_intensity must lie in (0,1]";
+  Array.init cores (fun c ->
+      let phase k =
+        if k mod 2 = 0 then
+          Task.Io
+            {
+              demand = uniform st 0.2 1.0;
+              volume = Float.round (uniform st 1.0 4.0 *. io_intensity *. 10.0) /. 10.0
+              |> Float.max 0.1;
+            }
+        else Task.Compute (Float.max 0.5 (Float.round (uniform st 0.5 3.0 *. 2.0) /. 2.0))
+      in
+      Task.make ~name:(Printf.sprintf "burst-%d" c) (List.init (2 * phases) phase))
+
+let streaming ~cores ~length st =
+  Array.init cores (fun c ->
+      Task.make
+        ~name:(Printf.sprintf "stream-%d" c)
+        [ Task.Io { demand = uniform st 0.5 1.0; volume = length } ])
+
+let mixed_vm ~cores st =
+  Array.init cores (fun c ->
+      match c mod 3 with
+      | 0 ->
+        (* Interactive: many short I/O requests with small demands. *)
+        Task.make
+          ~name:(Printf.sprintf "interactive-%d" c)
+          (List.concat
+             (List.init 6 (fun _ ->
+                  [
+                    Task.Io { demand = uniform st 0.05 0.3; volume = 1.0 };
+                    Task.Compute 1.0;
+                  ])))
+      | 1 ->
+        (* Batch: compute-heavy with occasional checkpoints. *)
+        Task.make
+          ~name:(Printf.sprintf "batch-%d" c)
+          [
+            Task.Compute 5.0;
+            Task.Io { demand = uniform st 0.6 1.0; volume = 2.0 };
+            Task.Compute 5.0;
+            Task.Io { demand = uniform st 0.6 1.0; volume = 2.0 };
+          ]
+      | _ ->
+        (* Backup: one long stream. *)
+        Task.make
+          ~name:(Printf.sprintf "backup-%d" c)
+          [ Task.Io { demand = uniform st 0.4 0.9; volume = 12.0 } ])
+
+let round_to_grid ~granularity x =
+  let g = granularity in
+  let k = int_of_float (Float.round (x *. float_of_int g)) in
+  Q.of_ints (min g (max 0 k)) g
+
+let to_crsharing ~granularity tasks =
+  if granularity < 1 then invalid_arg "Workload.to_crsharing: granularity >= 1";
+  let job_of_phase = function
+    | Task.Compute d ->
+      List.init (int_of_float (Float.ceil d)) (fun _ -> Q.zero)
+    | Task.Io { demand; volume } ->
+      let full = int_of_float (Float.floor volume) in
+      let frac = volume -. float_of_int full in
+      let fulls =
+        List.init full (fun _ ->
+            Q.max (Q.of_ints 1 granularity) (round_to_grid ~granularity demand))
+      in
+      if frac > 1e-9 then
+        fulls
+        @ [ Q.max (Q.of_ints 1 granularity) (round_to_grid ~granularity (demand *. frac)) ]
+      else fulls
+  in
+  Crs_core.Instance.of_requirements
+    (Array.map
+       (fun (t : Task.t) ->
+         Array.of_list (List.concat_map job_of_phase t.phases))
+       tasks)

@@ -1,0 +1,25 @@
+(** Synthetic workloads for the bus simulator, standing in for the
+    I/O-intensive scientific-computing traces the paper's introduction
+    invokes (substitution documented in DESIGN.md). *)
+
+val io_burst :
+  cores:int -> phases:int -> io_intensity:float -> Random.State.t -> Task.t array
+(** Alternating compute/I-O tasks. [io_intensity ∈ (0,1]] scales how much
+    of each task is I/O; demands are drawn uniformly from (0.2, 1.0],
+    volumes from [1, 4] ticks. *)
+
+val streaming : cores:int -> length:float -> Random.State.t -> Task.t array
+(** Pure-I/O streaming tasks (single long I/O phase, random demand):
+    maximal bus contention. *)
+
+val mixed_vm :
+  cores:int -> Random.State.t -> Task.t array
+(** "Virtual machine" mix: a third interactive (many short phases), a
+    third batch (compute-heavy), a third backup (streaming). *)
+
+val to_crsharing : granularity:int -> Task.t array -> Crs_core.Instance.t
+(** Map I/O phases to unit-size CRSharing jobs by rounding each phase's
+    demand·volume work onto a rational grid (compute phases become
+    zero-requirement jobs). This is the bridge that lets the exact
+    analysis layer bound what any bus policy could achieve on a simulator
+    workload; phases with volume > 1 are split into ⌈volume⌉ unit jobs. *)

@@ -1,0 +1,1 @@
+lib/num/bigint.ml: Format Natural Stdlib String

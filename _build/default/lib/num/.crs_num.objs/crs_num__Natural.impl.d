@@ -1,0 +1,1 @@
+lib/num/natural.ml: Array Buffer Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/num/natural.mli: Format

@@ -1,0 +1,1 @@
+lib/num/rational.ml: Array Bigint Char Format List Natural Stdlib String

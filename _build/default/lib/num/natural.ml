@@ -1,0 +1,362 @@
+(* Arbitrary-precision naturals, little-endian limbs in base 2^30.
+   The base is chosen so a limb product (< 2^60) plus carries fits in a
+   63-bit OCaml int without overflow. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+(* Canonical: no trailing (most significant) zero limb; zero = [||]. *)
+
+let zero : t = [||]
+let is_zero n = Array.length n = 0
+
+(* Strip leading-zero limbs to restore canonicity. *)
+let canon (a : int array) : t =
+  let len = ref (Array.length a) in
+  while !len > 0 && a.(!len - 1) = 0 do
+    decr len
+  done;
+  if !len = Array.length a then a else Array.sub a 0 !len
+
+let is_canonical n =
+  (Array.length n = 0 || n.(Array.length n - 1) <> 0)
+  && Array.for_all (fun limb -> 0 <= limb && limb < base) n
+
+let num_limbs = Array.length
+
+let of_int n =
+  if n < 0 then invalid_arg "Natural.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc k = if k = 0 then acc else count (acc + 1) (k lsr base_bits) in
+    let limbs = count 0 n in
+    let a = Array.make limbs 0 in
+    let rec fill i k =
+      if k <> 0 then begin
+        a.(i) <- k land mask;
+        fill (i + 1) (k lsr base_bits)
+      end
+    in
+    fill 0 n;
+    a
+  end
+
+let one = of_int 1
+let two = of_int 2
+let is_one n = Array.length n = 1 && n.(0) = 1
+
+let bit_length n =
+  let limbs = Array.length n in
+  if limbs = 0 then 0
+  else begin
+    let top = n.(limbs - 1) in
+    let rec bits acc k = if k = 0 then acc else bits (acc + 1) (k lsr 1) in
+    ((limbs - 1) * base_bits) + bits 0 top
+  end
+
+let to_int_opt n =
+  (* An OCaml int holds 62 value bits plus sign. *)
+  if bit_length n > 62 then None
+  else Some (Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) n 0)
+
+let to_int_exn n =
+  match to_int_opt n with
+  | Some i -> i
+  | None -> failwith "Natural.to_int_exn: value too large"
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let hash n = Array.fold_left (fun h limb -> (h * 31 + limb) land max_int) 17 n
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      !carry
+      + (if i < la then a.(i) else 0)
+      + (if i < lb then b.(i) else 0)
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  canon r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Natural.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  canon r
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr base_bits
+      done;
+      (* Propagate the final carry; it never overflows the result array. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land mask;
+        carry := cur lsr base_bits;
+        incr k
+      done
+    done;
+    canon r
+  end
+
+(* Multiply and add by small non-negative ints (used by of_string). *)
+let mul_small a (m : int) =
+  assert (0 <= m && m < base);
+  if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * m) + !carry in
+      r.(i) <- cur land mask;
+      carry := cur lsr base_bits
+    done;
+    r.(la) <- !carry;
+    canon r
+  end
+
+let add_small a (m : int) = if m = 0 then a else add a (of_int m)
+
+(* Divide by a small positive int, returning quotient and int remainder.
+   Requires [0 < d < base] so intermediate [carry * base + limb] fits. *)
+let divmod_small a (d : int) =
+  assert (0 < d && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (canon q, !rem)
+
+let shift_left n k =
+  if k < 0 then invalid_arg "Natural.shift_left: negative shift";
+  if k = 0 || is_zero n then n
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length n in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = n.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    canon r
+  end
+
+let shift_right n k =
+  if k < 0 then invalid_arg "Natural.shift_right: negative shift";
+  if k = 0 || is_zero n then n
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length n in
+    if limb_shift >= la then zero
+    else begin
+      let lr = la - limb_shift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let low = n.(i + limb_shift) lsr bit_shift in
+        let high =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (n.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land mask
+        in
+        r.(i) <- low lor high
+      done;
+      canon r
+    end
+  end
+
+(* Long division.
+
+   Single-limb divisors take the fast path below; the general case is
+   Knuth's Algorithm D (TAOCP vol. 2, 4.3.1): normalize so the divisor's
+   top limb has its high bit set, estimate each quotient limb from the
+   top two remainder limbs, and correct the (at most two) overestimates
+   by add-back. All intermediates fit in 63-bit ints because limbs hold
+   30 bits. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_small a b.(0) in
+    (q, of_int r)
+  end
+  else begin
+    (* Normalize: shift both so that b's top limb >= base/2. *)
+    let shift =
+      let top = b.(Array.length b - 1) in
+      let rec count s t = if t >= base / 2 then s else count (s + 1) (t * 2) in
+      count 0 top
+    in
+    let u = shift_left a shift in
+    let v = shift_left b shift in
+    let n = Array.length v in
+    let m_len = Array.length u - n in
+    (* Working copy of the dividend with one extra top limb. *)
+    let r = Array.make (Array.length u + 1) 0 in
+    Array.blit u 0 r 0 (Array.length u);
+    let q = Array.make (m_len + 1) 0 in
+    let v_top = v.(n - 1) in
+    let v_next = v.(n - 2) in
+    for j = m_len downto 0 do
+      (* Estimate q_hat from the top two remainder limbs. *)
+      let num = (r.(j + n) lsl base_bits) lor r.(j + n - 1) in
+      let q_hat = ref (num / v_top) in
+      let r_hat = ref (num mod v_top) in
+      if !q_hat >= base then begin
+        r_hat := !r_hat + ((!q_hat - (base - 1)) * v_top);
+        q_hat := base - 1
+      end;
+      (* Refine using the third limb: at most two decrements. *)
+      let continue_ = ref true in
+      while !continue_ && !r_hat < base do
+        let lhs = !q_hat * v_next in
+        let rhs = (!r_hat lsl base_bits) lor r.(j + n - 2) in
+        if lhs > rhs then begin
+          decr q_hat;
+          r_hat := !r_hat + v_top
+        end
+        else continue_ := false
+      done;
+      (* Multiply-subtract q_hat * v from r at offset j. *)
+      let borrow = ref 0 in
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!q_hat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = r.(i + j) - (p land mask) - !borrow in
+        if d < 0 then begin
+          r.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = r.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* q_hat was one too large: add v back. *)
+        r.(j + n) <- d + base;
+        decr q_hat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = r.(i + j) + v.(i) + !carry2 in
+          r.(i + j) <- s land mask;
+          carry2 := s lsr base_bits
+        done;
+        r.(j + n) <- (r.(j + n) + !carry2) land mask
+      end
+      else r.(j + n) <- d;
+      q.(j) <- !q_hat
+    done;
+    let remainder = shift_right (canon (Array.sub r 0 n)) shift in
+    (canon q, remainder)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero else mul (div a (gcd a b)) b
+
+let pow b e =
+  if e < 0 then invalid_arg "Natural.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+(* Decimal conversion works in chunks of 9 digits; 10^9 < 2^30 = base, so
+   it is a valid [divmod_small] divisor. *)
+let decimal_chunk = 1_000_000_000
+
+let () = assert (decimal_chunk < base)
+
+let to_string n =
+  if is_zero n then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks acc n =
+      if is_zero n then acc
+      else
+        let q, r = divmod_small n decimal_chunk in
+        chunks (r :: acc) q
+    in
+    (match chunks [] n with
+    | [] -> assert false
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Natural.of_string: empty string";
+  String.iter
+    (fun c -> if c < '0' || c > '9' then invalid_arg "Natural.of_string: non-digit")
+    s;
+  let result = ref zero in
+  let i = ref 0 in
+  while !i < len do
+    let take = Stdlib.min 9 (len - !i) in
+    let chunk = int_of_string (String.sub s !i take) in
+    let scale = int_of_float (10. ** float_of_int take) in
+    result := add_small (mul_small !result scale) chunk;
+    i := !i + take
+  done;
+  !result
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)

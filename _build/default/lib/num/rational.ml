@@ -1,0 +1,138 @@
+type t = { num : Bigint.t; den : Bigint.t }
+(* Invariant: den > 0, gcd(|num|, den) = 1, and num = 0 implies den = 1. *)
+
+let normalize num den =
+  let s = Bigint.sign den in
+  if s = 0 then raise Division_by_zero;
+  let num = if s < 0 then Bigint.neg num else num in
+  let den = Bigint.abs den in
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let g = Bigint.of_natural (Bigint.gcd num den) in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let make num den = normalize num den
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints p q = normalize (Bigint.of_int p) (Bigint.of_int q)
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let half = of_ints 1 2
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let is_one t = Bigint.equal t.num Bigint.one && Bigint.equal t.den Bigint.one
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (both denominators positive). *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let hash t = Bigint.hash t.num lxor (Bigint.hash t.den * 7)
+
+let ( = ) a b = equal a b
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  normalize
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = normalize (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+let inv t = normalize t.den t.num
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+
+let sum l = List.fold_left add zero l
+let sum_array a = Array.fold_left add zero a
+
+let floor t = Bigint.div t.num t.den
+(* Bigint.divmod is Euclidean (remainder >= 0), so its quotient is exactly
+   the floor for any sign of the numerator. *)
+
+let ceil t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.is_zero r then q else Bigint.add q Bigint.one
+
+let floor_int t =
+  match Bigint.to_int_opt (floor t) with
+  | Some i -> i
+  | None -> failwith "Rational.floor_int: out of int range"
+
+let ceil_int t =
+  match Bigint.to_int_opt (ceil t) with
+  | Some i -> i
+  | None -> failwith "Rational.ceil_int: out of int range"
+
+let to_int_opt t = if is_integer t then Bigint.to_int_opt t.num else None
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+let in_unit_interval x = zero <= x && x <= one
+
+let to_float t =
+  (* Convert via string when the parts fit in float range; fall back to a
+     scaled division otherwise. Precision here is best-effort: this
+     function exists for reporting, never for decisions. *)
+  match (Bigint.to_int_opt t.num, Bigint.to_int_opt t.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+    let scale = Bigint.of_int 1_000_000_000 in
+    (match Bigint.to_int_opt (Bigint.div (Bigint.mul t.num scale) t.den) with
+    | Some s -> float_of_int s /. 1e9
+    | None -> float_of_string (Bigint.to_string t.num) /. float_of_string (Bigint.to_string t.den))
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let p = String.sub s 0 i and q = String.sub s (Stdlib.( + ) i 1) (Stdlib.( - ) (String.length s) (Stdlib.( + ) i 1)) in
+    make (Bigint.of_string (String.trim p)) (Bigint.of_string (String.trim q))
+  | None ->
+    (match String.index_opt s '.' with
+    | None -> of_bigint (Bigint.of_string (String.trim s))
+    | Some i ->
+      let int_part = String.sub s 0 i in
+      let frac = String.sub s (Stdlib.( + ) i 1) (Stdlib.( - ) (String.length s) (Stdlib.( + ) i 1)) in
+      let digits = String.length frac in
+      let sign_factor =
+        if Stdlib.( > ) (String.length int_part) 0 && Char.equal int_part.[0] '-' then minus_one else one
+      in
+      let int_val =
+        if String.equal int_part "" || String.equal int_part "-" || String.equal int_part "+" then zero
+        else of_bigint (Bigint.of_string int_part)
+      in
+      let frac_val =
+        if Stdlib.( = ) digits 0 then zero
+        else
+          make (Bigint.of_string frac)
+            (Bigint.of_natural (Natural.pow (Natural.of_int 10) digits))
+      in
+      add int_val (mul sign_factor (abs frac_val)))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

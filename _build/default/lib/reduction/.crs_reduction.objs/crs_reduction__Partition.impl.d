@@ -1,0 +1,1 @@
+lib/reduction/partition.ml: Array List Random

@@ -1,0 +1,1 @@
+lib/reduction/partition.mli: Random

@@ -1,0 +1,1 @@
+lib/reduction/reduce.ml: Array Crs_core Crs_num Instance List Partition Schedule

@@ -1,0 +1,1 @@
+lib/reduction/reduce.mli: Crs_core Crs_num Partition

@@ -1,0 +1,101 @@
+type t = { elements : int array }
+
+let make elements =
+  if Array.length elements = 0 then invalid_arg "Partition.make: empty";
+  Array.iter
+    (fun a -> if a <= 0 then invalid_arg "Partition.make: elements must be positive")
+    elements;
+  { elements = Array.copy elements }
+
+let total t = Array.fold_left ( + ) 0 t.elements
+
+let half_opt t =
+  let s = total t in
+  if s mod 2 = 0 then Some (s / 2) else None
+
+let solve t =
+  match half_opt t with
+  | None -> None
+  | Some target ->
+    let n = Array.length t.elements in
+    (* from.(s) = index of the last element of some subset reaching sum s
+       (sentinel n for the empty set), or -1 if unreachable. The downward
+       scan per element gives the usual 0/1 subset-sum semantics: each
+       element is used at most once, and witnesses reconstruct by walking
+       back through strictly earlier indices. *)
+    let from = Array.make (target + 1) (-1) in
+    from.(0) <- n;
+    for i = 0 to n - 1 do
+      let a = t.elements.(i) in
+      for s = target downto a do
+        if from.(s) < 0 && from.(s - a) >= 0 then from.(s) <- i
+      done
+    done;
+    if from.(target) < 0 then None
+    else begin
+      let rec walk s acc =
+        if s = 0 then acc
+        else begin
+          let i = from.(s) in
+          walk (s - t.elements.(i)) (i :: acc)
+        end
+      in
+      Some (walk target [])
+    end
+
+let is_yes t = solve t <> None
+
+let verify_certificate t indices =
+  match half_opt t with
+  | None -> false
+  | Some target ->
+    let sorted = List.sort_uniq compare indices in
+    List.length sorted = List.length indices
+    && List.for_all (fun i -> i >= 0 && i < Array.length t.elements) sorted
+    && List.fold_left (fun acc i -> acc + t.elements.(i)) 0 sorted = target
+
+let random_yes ~n ~max_value st =
+  if n < 2 then invalid_arg "Partition.random_yes: n must be >= 2";
+  if max_value < 1 then invalid_arg "Partition.random_yes: max_value >= 1";
+  (* Draw k elements for the left side, then emit right-side elements
+     that sum to the same total. *)
+  let k = 1 + Random.State.int st (n - 1) in
+  let left = Array.init k (fun _ -> 1 + Random.State.int st max_value) in
+  let target = Array.fold_left ( + ) 0 left in
+  let right_count = n - k in
+  let right = Array.make right_count 1 in
+  let remaining = ref (target - right_count) in
+  (* Distribute the remaining mass randomly (entries stay >= 1). If the
+     left total is too small to give each right element at least 1, bump
+     a left element instead. *)
+  if !remaining < 0 then begin
+    left.(0) <- left.(0) - !remaining;
+    remaining := 0
+  end;
+  for idx = 0 to right_count - 1 do
+    let give =
+      if idx = right_count - 1 then !remaining
+      else Random.State.int st (!remaining + 1)
+    in
+    right.(idx) <- right.(idx) + give;
+    remaining := !remaining - give
+  done;
+  make (Array.append left right)
+
+let random_no ~n ~max_value st =
+  if n < 1 then invalid_arg "Partition.random_no: n must be >= 1";
+  if max_value < 2 then invalid_arg "Partition.random_no: max_value >= 2";
+  let attempts = 10_000 in
+  let rec try_once k =
+    if k = 0 then failwith "Partition.random_no: could not find a NO instance"
+    else begin
+      let elements = Array.init n (fun _ -> 1 + Random.State.int st max_value) in
+      let s = Array.fold_left ( + ) 0 elements in
+      if s mod 2 <> 0 then try_once (k - 1)
+      else begin
+        let cand = make elements in
+        if is_yes cand then try_once (k - 1) else cand
+      end
+    end
+  in
+  try_once attempts

@@ -1,0 +1,40 @@
+(** The Partition problem: given positive integers [a_1..a_n] with even
+    total [2A], decide whether some subset sums to exactly [A].
+
+    Substrate for the Theorem 4 NP-hardness reduction. The solver is the
+    classic pseudo-polynomial subset-sum dynamic program — exponential
+    only in the bit length, which is all we need to *execute* the
+    reduction on concrete instances. *)
+
+type t = private { elements : int array }
+
+val make : int array -> t
+(** @raise Invalid_argument if empty or any element is non-positive. *)
+
+val total : t -> int
+
+val half_opt : t -> int option
+(** [Some A] when the total [2A] is even; [None] otherwise (such
+    instances are trivially NO). *)
+
+val solve : t -> int list option
+(** Indices (ascending) of a subset summing to half the total, if one
+    exists. O(n·A) time and space. *)
+
+val is_yes : t -> bool
+
+val verify_certificate : t -> int list -> bool
+(** Do the given indices sum to half the total? *)
+
+(** {1 Instance generators} *)
+
+val random_yes : n:int -> max_value:int -> Random.State.t -> t
+(** Builds a YES instance by drawing one random side and mirroring its
+    total onto the other: both sides sum to the same [A]. [n ≥ 2]. *)
+
+val random_no : n:int -> max_value:int -> Random.State.t -> t
+(** Rejection-samples even-total instances until the DP says NO (an
+    odd-total instance would be trivially NO but is useless to the
+    reduction, which needs [Σ a_i = 2A]). May be slow for tiny
+    [max_value] where almost everything partitions; raises [Failure]
+    after 10000 attempts. *)

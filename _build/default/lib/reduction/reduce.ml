@@ -1,0 +1,68 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let yes_makespan = 4
+let no_makespan_lower = 5
+let gap_ratio = Q.of_ints 5 4
+
+let params ?epsilon (p : Partition.t) =
+  let n = Array.length p.Partition.elements in
+  let a_half =
+    match Partition.half_opt p with
+    | Some a -> a
+    | None -> invalid_arg "Reduce: Partition total must be even (Σ a_i = 2A)"
+  in
+  if a_half < 2 then invalid_arg "Reduce: requires A >= 2 (paper's w.l.o.g.)";
+  let eps = match epsilon with Some e -> e | None -> Q.of_ints 1 (n + 1) in
+  if not (Q.(eps > zero) && Q.(eps < Q.of_ints 1 n)) then
+    invalid_arg "Reduce: epsilon must lie in (0, 1/n)";
+  Array.iter
+    (fun a ->
+      if a > a_half then
+        invalid_arg
+          "Reduce: some element exceeds A (instance is trivially NO; the \
+           gadget requires a_i <= A so requirements stay in [0,1])")
+    p.Partition.elements;
+  let delta = Q.mul (Q.of_int n) eps in
+  let denom = Q.add (Q.of_int a_half) delta in
+  let a_tilde i = Q.div (Q.of_int p.Partition.elements.(i)) denom in
+  let eps_tilde = Q.div eps denom in
+  (n, a_tilde, eps_tilde)
+
+let to_crsharing ?epsilon p =
+  let n, a_tilde, eps_tilde = params ?epsilon p in
+  Instance.of_requirements
+    (Array.init n (fun i -> [| a_tilde i; eps_tilde; a_tilde i |]))
+
+let decide ~exact p =
+  match Partition.half_opt p with
+  | None -> false
+  | Some a_half ->
+    if Array.exists (fun a -> a > a_half) p.Partition.elements then false
+    else exact (to_crsharing p) = yes_makespan
+
+let yes_witness_schedule p certificate =
+  if not (Partition.verify_certificate p certificate) then
+    invalid_arg "Reduce.yes_witness_schedule: invalid certificate";
+  let n, a_tilde, eps_tilde = params p in
+  let in_cert = Array.make n false in
+  List.iter (fun i -> in_cert.(i) <- true) certificate;
+  (* Figure 4a: certificate processors run their jobs at steps 1,2,3;
+     the others at steps 2,3,4. Each step's total is at most
+     (A + n·ε)/(A + δ) = 1. *)
+  let row step =
+    Array.init n (fun i ->
+        if in_cert.(i) then
+          match step with
+          | 1 -> a_tilde i
+          | 2 -> eps_tilde
+          | 3 -> a_tilde i
+          | _ -> Q.zero
+        else
+          match step with
+          | 2 -> a_tilde i
+          | 3 -> eps_tilde
+          | 4 -> a_tilde i
+          | _ -> Q.zero)
+  in
+  Schedule.of_rows [| row 1; row 2; row 3; row 4 |]

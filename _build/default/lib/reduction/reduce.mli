@@ -1,0 +1,34 @@
+(** The Theorem 4 reduction: Partition ≤p CRSharing with unit-size jobs.
+
+    An instance [a_1..a_n] with [Σ a_i = 2A] becomes a CRSharing instance
+    on [n] processors, three jobs each: requirements
+    [ã_i, ε̃, ã_i] where [ã_i = a_i/(A+δ)], [ε̃ = ε/(A+δ)], [δ = n·ε],
+    for any [ε ∈ (0, 1/n)]. The reduced instance has optimal makespan 4
+    iff the Partition instance is YES (and at least 5 otherwise), giving
+    NP-hardness and Corollary 1's 5/4 inapproximability. *)
+
+val to_crsharing :
+  ?epsilon:Crs_num.Rational.t -> Partition.t -> Crs_core.Instance.t
+(** [epsilon] defaults to [1/(n+1)].
+    @raise Invalid_argument if the Partition total is odd (the gadget
+    needs [Σ a_i = 2A]), if [A < 2] (the proof's w.l.o.g.), or if
+    [epsilon ∉ (0, 1/n)]. *)
+
+val yes_makespan : int
+(** 4. *)
+
+val no_makespan_lower : int
+(** 5. *)
+
+val decide :
+  exact:(Crs_core.Instance.t -> int) -> Partition.t -> bool
+(** Decide Partition through the reduction using any exact CRSharing
+    solver: YES iff the reduced instance's optimal makespan is 4. *)
+
+val yes_witness_schedule : Partition.t -> int list -> Crs_core.Schedule.t
+(** The Figure 4a schedule for a YES instance and a certificate (indices
+    of one side of the partition): makespan exactly 4.
+    @raise Invalid_argument if the certificate is wrong. *)
+
+val gap_ratio : Crs_num.Rational.t
+(** [5/4], the inapproximability factor of Corollary 1. *)

@@ -1,0 +1,1 @@
+lib/render/dot.ml: Buffer Crs_core Crs_hypergraph Crs_num Fun Instance Job List Printf

@@ -1,0 +1,1 @@
+lib/render/dot.mli: Crs_hypergraph

@@ -1,0 +1,1 @@
+lib/render/export.ml: Array Buffer Crs_core Crs_num Execution Fun Instance Job List Printf String

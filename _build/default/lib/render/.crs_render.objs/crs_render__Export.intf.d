@@ -1,0 +1,1 @@
+lib/render/export.mli: Crs_core

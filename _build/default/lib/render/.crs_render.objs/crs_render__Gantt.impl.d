@@ -1,0 +1,1 @@
+lib/render/gantt.ml: Array Buffer Crs_core Crs_num Execution Float Instance Job List Printf Properties Result Schedule String

@@ -1,0 +1,1 @@
+lib/render/gantt.mli: Crs_core

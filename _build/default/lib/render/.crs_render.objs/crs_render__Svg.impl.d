@@ -1,0 +1,1 @@
+lib/render/svg.ml: Array Buffer Crs_core Crs_num Execution Fun Instance List Printf

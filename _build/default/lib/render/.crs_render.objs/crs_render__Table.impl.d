@@ -1,0 +1,1 @@
+lib/render/table.ml: List Printf String

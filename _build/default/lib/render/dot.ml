@@ -1,0 +1,58 @@
+module Q = Crs_num.Rational
+module G = Crs_hypergraph.Sched_graph
+open Crs_core
+
+let node_id (i, j) = Printf.sprintf "job_%d_%d" i j
+let edge_id t = Printf.sprintf "edge_%d" t
+
+let of_graph g =
+  let buf = Buffer.create 2048 in
+  let instance = G.instance g in
+  Buffer.add_string buf "digraph scheduling_graph {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  (* One cluster per connected component, as in Figure 1b. *)
+  List.iter
+    (fun (c : G.component) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"C%d (class %d)\";\n"
+           c.index (c.index + 1) c.cls);
+      List.iter
+        (fun ((i, j) as node) ->
+          let r = Job.requirement (Instance.job instance i j) in
+          Buffer.add_string buf
+            (Printf.sprintf "    %s [label=\"%s\\np%d j%d\"];\n" (node_id node)
+               (Q.to_string r) (i + 1) (j + 1)))
+        c.nodes;
+      for t = c.first_step to c.last_step do
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %s [shape=box, style=dashed, label=\"e%d\", fontsize=9];\n"
+             (edge_id t) t)
+      done;
+      Buffer.add_string buf "  }\n")
+    (G.components g);
+  (* Hyperedge membership arcs. *)
+  for t = 1 to G.num_edges g do
+    List.iter
+      (fun node ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [dir=none, color=gray];\n" (edge_id t)
+             (node_id node)))
+      (G.edge g t)
+  done;
+  (* Job-order chains per processor, to hint the row layout. *)
+  for i = 0 to Instance.m instance - 1 do
+    for j = 0 to Instance.n_i instance i - 2 do
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [style=invis];\n" (node_id (i, j))
+           (node_id (i, j + 1)))
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (of_graph g))

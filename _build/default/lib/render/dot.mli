@@ -1,0 +1,10 @@
+(** Graphviz output for scheduling hypergraphs: nodes laid out in the
+    paper's row-per-processor style (Figure 1), with hyperedges drawn as
+    labelled boxes connected to their member jobs, and components
+    clustered. *)
+
+val of_graph : Crs_hypergraph.Sched_graph.t -> string
+(** A complete [digraph] document; render with [dot -Tsvg]. *)
+
+val save : string -> Crs_hypergraph.Sched_graph.t -> unit
+(** Write to a file path. *)

@@ -1,0 +1,74 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let row cells = String.concat "," (List.map quote cells) ^ "\n"
+
+let series_to_csv ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row header);
+  List.iter (fun r -> Buffer.add_string buf (row r)) rows;
+  Buffer.contents buf
+
+let dec q = Printf.sprintf "%.6f" (Q.to_float q)
+
+let trace_to_csv (trace : Execution.trace) =
+  let rows = ref [] in
+  Array.iteri
+    (fun t (step : Execution.step) ->
+      Array.iteri
+        (fun i active ->
+          match active with
+          | None -> ()
+          | Some j ->
+            let r = Job.requirement (Instance.job trace.instance i j) in
+            rows :=
+              [
+                string_of_int (t + 1);
+                string_of_int (i + 1);
+                string_of_int (j + 1);
+                dec r;
+                dec step.shares.(i);
+                dec step.consumed.(i);
+                dec step.progress.(i);
+                (if List.mem (i, j) step.finished then "1" else "0");
+                Q.to_string step.shares.(i);
+              ]
+              :: !rows)
+        step.active)
+    trace.steps;
+  series_to_csv
+    ~header:
+      [
+        "step"; "proc"; "job"; "requirement"; "share"; "consumed"; "progress";
+        "finished"; "share_exact";
+      ]
+    (List.rev !rows)
+
+let completions_to_csv (trace : Execution.trace) =
+  let rows = ref [] in
+  let m = Instance.m trace.instance in
+  for i = m - 1 downto 0 do
+    for j = Instance.n_i trace.instance i - 1 downto 0 do
+      rows :=
+        [
+          string_of_int (i + 1);
+          string_of_int (j + 1);
+          dec (Job.requirement (Instance.job trace.instance i j));
+          string_of_int trace.start_step.(i).(j);
+          string_of_int trace.completion_step.(i).(j);
+        ]
+        :: !rows
+    done
+  done;
+  series_to_csv ~header:[ "proc"; "job"; "requirement"; "start"; "completion" ] !rows
+
+let save path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,17 @@
+(** CSV export of traces and experiment series, for downstream analysis
+    (spreadsheets, pandas, gnuplot). *)
+
+val trace_to_csv : Crs_core.Execution.trace -> string
+(** One row per (step, processor):
+    [step,proc,job,requirement,share,consumed,progress,finished]. Exact
+    rationals are rendered as decimals with 6 digits plus an exact column. *)
+
+val completions_to_csv : Crs_core.Execution.trace -> string
+(** One row per job: [proc,job,requirement,start,completion]. *)
+
+val series_to_csv : header:string list -> string list list -> string
+(** Generic: header + rows, RFC-4180-style quoting for cells containing
+    commas or quotes. *)
+
+val save : string -> string -> unit
+(** [save path contents]. *)

@@ -1,0 +1,93 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+let pct q =
+  (* Requirements in the paper's figures are percentages; render with up
+     to one decimal, dropping trailing zeros. *)
+  let v = Q.to_float (Q.mul q (Q.of_int 100)) in
+  if Float.is_integer v then Printf.sprintf "%.0f" v else Printf.sprintf "%.1f" v
+
+let render (trace : Execution.trace) =
+  let m = Instance.m trace.instance in
+  let buf = Buffer.create 1024 in
+  let steps = Array.length trace.steps in
+  let cell t i =
+    let step = trace.steps.(t) in
+    match step.active.(i) with
+    | None -> "--"
+    | Some j ->
+      let r = Job.requirement (Instance.job trace.instance i j) in
+      let star = if List.mem (i, j) step.finished then "*" else "" in
+      Printf.sprintf "j%d:%s%%>%s%%%s" (j + 1) (pct r) (pct step.shares.(i)) star
+  in
+  let widths =
+    Array.init steps (fun t ->
+        let w = ref (String.length (Printf.sprintf "t%d" (t + 1))) in
+        for i = 0 to m - 1 do
+          w := max !w (String.length (cell t i))
+        done;
+        !w)
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  Buffer.add_string buf (pad "" 5);
+  for t = 0 to steps - 1 do
+    Buffer.add_string buf (pad (Printf.sprintf "t%d" (t + 1)) (widths.(t) + 2))
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to m - 1 do
+    Buffer.add_string buf (pad (Printf.sprintf "p%d" (i + 1)) 5);
+    for t = 0 to steps - 1 do
+      Buffer.add_string buf (pad (cell t i) (widths.(t) + 2))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render_compact (trace : Execution.trace) =
+  let m = Instance.m trace.instance in
+  let buf = Buffer.create 256 in
+  for i = 0 to m - 1 do
+    Buffer.add_string buf (Printf.sprintf "p%-3d|" (i + 1));
+    Array.iter
+      (fun (step : Execution.step) ->
+        let c =
+          match step.active.(i) with
+          | None -> ' '
+          | Some j ->
+            let r = Job.requirement (Instance.job trace.instance i j) in
+            if Q.is_zero step.progress.(i) then '.'
+            else if Q.(step.shares.(i) >= r) || Q.is_zero r then '#'
+            else '+'
+        in
+        Buffer.add_char buf c)
+      trace.steps;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf
+
+let render_shares schedule =
+  let buf = Buffer.create 256 in
+  for t = 0 to Schedule.horizon schedule - 1 do
+    Buffer.add_string buf (Printf.sprintf "t%-3d" (t + 1));
+    Array.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf " %6s%%" (pct s)))
+      (Schedule.row schedule t);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let summary (trace : Execution.trace) =
+  let flags =
+    Properties.check_all trace
+    |> List.map (fun (name, r) ->
+           Printf.sprintf "%s=%s" name (if Result.is_ok r then "yes" else "no"))
+    |> String.concat ", "
+  in
+  let makespan =
+    match Execution.makespan_opt trace with
+    | Some v -> string_of_int v
+    | None -> "unfinished"
+  in
+  Printf.sprintf "makespan: %s | unused capacity: %s | %s" makespan
+    (Q.to_string (Execution.unused_capacity trace))
+    flags

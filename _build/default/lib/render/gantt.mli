@@ -1,0 +1,19 @@
+(** ASCII rendering of schedules, in the style of the paper's figures:
+    one row per processor, one column block per time step, each cell
+    showing the active job's requirement (in percent) and how much
+    resource it received. *)
+
+val render : Crs_core.Execution.trace -> string
+(** Full trace rendering. Cells show [jJ:RR%→SS%] — active job index,
+    requirement, share received; [--] for idle processors; a [*] marks
+    completion steps. *)
+
+val render_compact : Crs_core.Execution.trace -> string
+(** One character class per cell: ['#'] full-speed work, ['+'] partial,
+    ['.'] active but unfed, [' '] idle. Suited to long schedules. *)
+
+val render_shares : Crs_core.Schedule.t -> string
+(** Just the share matrix (percentages), without instance context. *)
+
+val summary : Crs_core.Execution.trace -> string
+(** Makespan, waste, property flags — a one-paragraph digest. *)

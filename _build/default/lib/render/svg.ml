@@ -1,0 +1,83 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+(* A small qualitative palette; hues repeat beyond 8 processors. *)
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2"; "#edc948"; "#9c755f" |]
+
+let color i = palette.(i mod Array.length palette)
+
+let of_trace ?(cell = 48) (trace : Execution.trace) =
+  let m = Instance.m trace.instance in
+  let steps = Array.length trace.steps in
+  let label_w = 64 in
+  let header_h = 24 in
+  let width = label_w + (steps * cell) + 8 in
+  let height = header_h + (m * cell) + 8 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"11\">\n"
+       width height width height);
+  Buffer.add_string buf "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  (* Step labels. *)
+  for t = 0 to steps - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"16\" text-anchor=\"middle\" fill=\"#333\">t%d</text>\n"
+         (label_w + (t * cell) + (cell / 2))
+         (t + 1))
+  done;
+  for i = 0 to m - 1 do
+    let y0 = header_h + (i * cell) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" text-anchor=\"end\" fill=\"#333\">p%d</text>\n"
+         (label_w - 8) (y0 + (cell / 2) + 4) (i + 1));
+    for t = 0 to steps - 1 do
+      let x0 = label_w + (t * cell) in
+      let step = trace.steps.(t) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+            stroke=\"#ccc\"/>\n"
+           x0 y0 cell cell);
+      (match step.active.(i) with
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>\n"
+             x0 y0 (x0 + cell) (y0 + cell))
+      | Some j ->
+        let consumed = Q.to_float step.consumed.(i) in
+        let h = int_of_float (float_of_int (cell - 2) *. consumed) in
+        if h > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+                fill-opacity=\"0.85\"/>\n"
+               (x0 + 1)
+               (y0 + cell - 1 - h)
+               (cell - 2) h (color i));
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\" fill=\"#222\">j%d</text>\n"
+             (x0 + (cell / 2))
+             (y0 + 14) (j + 1));
+        if List.mem (i, j) step.finished then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<text x=\"%d\" y=\"%d\" text-anchor=\"end\" fill=\"#222\">*</text>\n"
+               (x0 + cell - 4)
+               (y0 + cell - 6)))
+    done
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (of_trace trace))

@@ -1,0 +1,12 @@
+(** Standalone SVG rendering of executions: one column per time step,
+    stacked per-processor resource shares (the paper's pictures turned
+    into vector graphics). No external dependencies; the output is a
+    self-contained [<svg>] document. *)
+
+val of_trace : ?cell:int -> Crs_core.Execution.trace -> string
+(** [cell] is the pixel size of one step column (default 48). Each
+    processor gets a fixed hue; the filled height of a cell is the share
+    consumed that step, a star marks job completions, and idle processors
+    are hatched. *)
+
+val save : string -> Crs_core.Execution.trace -> unit

@@ -1,0 +1,39 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let pad_row row = row @ List.init (cols - List.length row) (fun _ -> "") in
+  let header = pad_row header in
+  let rows = List.map pad_row rows in
+  let align =
+    match align with
+    | Some a -> pad_row (List.map (function Left -> "l" | Right -> "r") a)
+                |> List.map (fun s -> if s = "r" then Right else Left)
+    | None -> List.init cols (fun c -> if c = 0 then Left else Right)
+  in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row c)))
+      (String.length (List.nth header c))
+      rows
+  in
+  let widths = List.init cols width in
+  let fmt_cell a w s =
+    let pad = String.make (max 0 (w - String.length s)) ' ' in
+    match a with Left -> s ^ pad | Right -> pad ^ s
+  in
+  let fmt_row row =
+    List.map2 (fun (a, w) s -> fmt_cell a w s) (List.combine align widths) row
+    |> String.concat "  "
+  in
+  let rule = String.concat "--" (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((fmt_row header :: rule :: List.map fmt_row rows) @ [ "" ])
+
+let render_floats ?(decimals = 3) ~header rows =
+  render ~header
+    (List.map
+       (fun (label, values) ->
+         label :: List.map (fun v -> Printf.sprintf "%.*f" decimals v) values)
+       rows)

@@ -1,0 +1,14 @@
+(** Plain-text tables for the benchmark harness and the CLI: fixed-width
+    columns, a header rule, right-aligned numeric cells. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows]; [align] defaults to [Left] for the first
+    column and [Right] for the rest. Ragged rows are padded with empty
+    cells. *)
+
+val render_floats :
+  ?decimals:int -> header:string list -> (string * float list) list -> string
+(** Rows of labelled float series (e.g. ratio sweeps); [decimals]
+    defaults to 3. *)

@@ -1,0 +1,1 @@
+lib/util/misc.ml: Array Buffer List String

@@ -1,0 +1,56 @@
+module Make (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  type elt = Ord.t
+
+  type t =
+    | Empty
+    | Node of elt * t list
+
+  let empty = Empty
+
+  let is_empty = function
+    | Empty -> true
+    | Node _ -> false
+
+  let singleton x = Node (x, [])
+
+  let merge a b =
+    match (a, b) with
+    | Empty, h | h, Empty -> h
+    | Node (x, xs), Node (y, ys) ->
+      if Ord.compare x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+  let insert x h = merge (singleton x) h
+
+  let find_min = function
+    | Empty -> None
+    | Node (x, _) -> Some x
+
+  (* Two-pass pairing merge keeps the amortized O(log n) bound. *)
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ h ] -> h
+    | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+
+  let pop = function
+    | Empty -> None
+    | Node (x, hs) -> Some (x, merge_pairs hs)
+
+  let of_list l = List.fold_left (fun h x -> insert x h) empty l
+
+  let to_sorted_list h =
+    let rec go acc h =
+      match pop h with
+      | None -> List.rev acc
+      | Some (x, h') -> go (x :: acc) h'
+    in
+    go [] h
+
+  let rec size = function
+    | Empty -> 0
+    | Node (_, hs) -> 1 + List.fold_left (fun acc h -> acc + size h) 0 hs
+end

@@ -1,0 +1,33 @@
+(** Purely functional priority queue (pairing heap), min-first.
+
+    Used by the priority-queue variant of the two-processor optimal
+    algorithm (paper, end of Section 6) and by the discrete-event engine
+    of the many-core simulator. *)
+
+module Make (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  type elt = Ord.t
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : elt -> t
+  val insert : elt -> t -> t
+  val merge : t -> t -> t
+
+  val find_min : t -> elt option
+
+  val pop : t -> (elt * t) option
+  (** Remove and return the minimum element. *)
+
+  val of_list : elt list -> t
+
+  val to_sorted_list : t -> elt list
+  (** Ascending order; O(n log n). *)
+
+  val size : t -> int
+  (** O(n). *)
+end

@@ -1,0 +1,22 @@
+(** Imperative disjoint-set forest with union by rank and path
+    compression. Used to extract the connected components of scheduling
+    hypergraphs (paper, Section 3.2). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val groups : t -> int list array
+(** All sets as lists of members, indexed arbitrarily but deterministically
+    (by smallest member, ascending); members sorted ascending. The result
+    array has [count t] entries. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Crs_core Crs_num Crs_util Instance List Policy QCheck2 QCheck_alcotest Random Schedule String

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Crs_algorithms Crs_core Crs_generators Crs_hypergraph Crs_num Execution Helpers Instance Job List Lower_bounds Printf Random

@@ -1,0 +1,1 @@
+test/test_binpack.ml: Alcotest Array Crs_algorithms Crs_binpack Crs_generators Crs_num Helpers Printf QCheck2 Random Result

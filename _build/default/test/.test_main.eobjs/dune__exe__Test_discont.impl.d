@@ -1,0 +1,1 @@
+test/test_discont.ml: Alcotest Array Crs_discont Float Helpers List QCheck2 Random Result

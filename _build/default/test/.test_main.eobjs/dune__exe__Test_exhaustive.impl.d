@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Crs_algorithms Crs_binpack Crs_core Crs_num Execution Instance List Lower_bounds Properties

@@ -1,0 +1,1 @@
+test/test_extension.ml: Alcotest Array Crs_algorithms Crs_binpack Crs_core Crs_extension Crs_generators Crs_num Execution Helpers Instance Job Lower_bounds QCheck2 Random Result

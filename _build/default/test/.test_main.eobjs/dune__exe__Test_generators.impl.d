@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Crs_core Crs_generators Crs_num Crs_util Helpers Instance Job List Printf QCheck2 Random

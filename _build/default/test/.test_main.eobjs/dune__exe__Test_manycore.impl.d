@@ -1,0 +1,1 @@
+test/test_manycore.ml: Alcotest Array Crs_core Crs_manycore Float Helpers List Printf QCheck2 Random Result String

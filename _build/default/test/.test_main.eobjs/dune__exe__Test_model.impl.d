@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Crs_algorithms Crs_core Crs_num Execution Helpers Instance Job QCheck2 Random Result Schedule

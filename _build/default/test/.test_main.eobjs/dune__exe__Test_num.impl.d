@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Crs_num Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Crs_algorithms Crs_core Crs_generators Helpers Online Policy Random Schedule

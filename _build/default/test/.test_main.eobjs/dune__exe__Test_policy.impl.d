@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Crs_algorithms Crs_core Crs_num Execution Helpers Instance List Policy Result Schedule

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Crs_algorithms Crs_core Crs_generators Crs_num Execution Helpers Properties Random Result Schedule Transform

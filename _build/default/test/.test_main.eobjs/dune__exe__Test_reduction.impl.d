@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Crs_algorithms Crs_core Crs_num Crs_reduction Execution Helpers Instance Job List QCheck2 Random

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Crs_algorithms Crs_core Crs_generators Crs_hypergraph Crs_render Execution Helpers List String

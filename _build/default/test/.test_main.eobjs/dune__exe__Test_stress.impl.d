@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Crs_algorithms Crs_core Crs_extension Crs_generators Crs_manycore Crs_num Execution Helpers Instance List Lower_bounds Random

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Crs_util Helpers Int List QCheck2

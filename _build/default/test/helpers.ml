@@ -1,0 +1,87 @@
+(* Shared helpers for the test suites. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+
+let q = Q.of_string
+
+let check_q = Alcotest.testable Q.pp Q.equal
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let instance_of_strings rows =
+  Instance.of_requirements
+    (Array.of_list (List.map (fun row -> Array.of_list (List.map q row)) rows))
+
+let schedule_of_strings rows =
+  Schedule.of_rows
+    (Array.of_list (List.map (fun row -> Array.of_list (List.map q row)) rows))
+
+(* Deterministic random requirement on a grid, strictly positive unless
+   allow_zero (zero requirements make Definition 5 unattainable — edge
+   case Z1). *)
+let rand_req ?(allow_zero = false) st granularity =
+  let lo = if allow_zero then 0 else 1 in
+  Q.of_ints (lo + Random.State.int st (granularity + 1 - lo)) granularity
+
+let random_instance ?allow_zero ?(max_m = 3) ?(max_jobs = 4) st =
+  let m = 2 + Random.State.int st (max_m - 1) in
+  Instance.of_requirements
+    (Array.init m (fun _ ->
+         Array.init
+           (1 + Random.State.int st max_jobs)
+           (fun _ -> rand_req ?allow_zero st (4 + Random.State.int st 8))))
+
+(* A randomized feasible completing schedule: random priorities and
+   deliberate throttling/waste each step. *)
+let random_schedule st instance =
+  let policy (s : Policy.state) =
+    let m = Instance.m instance in
+    let shares = Array.make m Q.zero in
+    let budget = ref Q.one in
+    let order =
+      List.sort (fun _ _ -> Random.State.int st 3 - 1) (Crs_util.Misc.range m)
+    in
+    List.iter
+      (fun i ->
+        if Policy.active s i && Random.State.int st 4 > 0 then begin
+          let usable =
+            Q.min (Policy.remaining_work s i) (Policy.active_requirement s i)
+          in
+          let frac = Q.of_ints (1 + Random.State.int st 4) 4 in
+          let give = Q.min (Q.mul usable frac) !budget in
+          shares.(i) <- give;
+          budget := Q.sub !budget give
+        end)
+      order;
+    if Array.for_all Q.is_zero shares then begin
+      match List.find_opt (Policy.active s) (Crs_util.Misc.range m) with
+      | Some i -> shares.(i) <- Q.min (Policy.remaining_work s i) Q.one
+      | None -> ()
+    end;
+    shares
+  in
+  Policy.run ~max_steps:10_000 policy instance
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+(* Seeded generator of small random instances for qcheck properties. *)
+let gen_instance ?allow_zero ?max_m ?max_jobs () =
+  QCheck2.Gen.map
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      random_instance ?allow_zero ?max_m ?max_jobs st)
+    QCheck2.Gen.(int_bound 1_000_000)
+
+let gen_instance_with_schedule () =
+  QCheck2.Gen.map
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let instance = random_instance st in
+      (instance, random_schedule st instance))
+    QCheck2.Gen.(int_bound 1_000_000)

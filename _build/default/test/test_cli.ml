@@ -1,0 +1,94 @@
+(* End-to-end tests of the crsched binary (built by dune as a test
+   dependency; the test process runs in _build/default/test). *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "crsched.exe")
+
+let run_capture args =
+  let out = Filename.temp_file "crsched" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let content = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, content)
+
+let has needle s = Helpers.contains ~needle s
+
+let with_instance_file body f =
+  let path = Filename.temp_file "instance" ".txt" in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc body);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_gen_and_solve () =
+  let code, out = run_capture "gen -f figure1" in
+  Alcotest.(check int) "gen exits 0" 0 code;
+  Alcotest.(check bool) "emits figure 1" true (has "9/10" out);
+  with_instance_file out (fun path ->
+      let code, out = run_capture (Printf.sprintf "solve %s -a greedy-balance" path) in
+      Alcotest.(check int) "solve exits 0" 0 code;
+      Alcotest.(check bool) "reports makespan" true (has "makespan: 6" out))
+
+let test_compare_exact () =
+  with_instance_file "1/2 1/2\n1/2\n" (fun path ->
+      let code, out = run_capture (Printf.sprintf "compare %s --exact" path) in
+      Alcotest.(check int) "exits 0" 0 code;
+      Alcotest.(check bool) "prints optimum" true (has "exact optimum: 2" out);
+      Alcotest.(check bool) "lists algorithms" true (has "round-robin" out))
+
+let test_reduce_decide () =
+  let code, out = run_capture "reduce 1 2 3 --decide" in
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "YES verdict" true (has "partition: YES" out);
+  let code, out = run_capture "reduce 3 3 3 3 2 --decide" in
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "NO verdict" true (has "partition: NO" out)
+
+let test_bounds () =
+  with_instance_file "1/2 1/2\n1/2\n" (fun path ->
+      let code, out = run_capture (Printf.sprintf "bounds %s" path) in
+      Alcotest.(check int) "exits 0" 0 code;
+      Alcotest.(check bool) "Observation 1 row" true (has "Observation 1" out);
+      Alcotest.(check bool) "bin-packing row" true (has "bin-packing relaxation" out))
+
+let test_export_verify_roundtrip () =
+  with_instance_file "1/2 1/2\n1/2\n" (fun path ->
+      let sched = Filename.temp_file "sched" ".txt" in
+      let svg = Filename.temp_file "sched" ".svg" in
+      Fun.protect
+        ~finally:(fun () -> List.iter Sys.remove [ sched; svg ])
+        (fun () ->
+          let code, _ =
+            run_capture
+              (Printf.sprintf "export %s -a optimal --schedule %s --svg %s" path sched svg)
+          in
+          Alcotest.(check int) "export exits 0" 0 code;
+          Alcotest.(check bool) "svg written" true
+            (has "<svg" (In_channel.with_open_text svg In_channel.input_all));
+          let code, out = run_capture (Printf.sprintf "verify %s %s" path sched) in
+          Alcotest.(check int) "verify exits 0" 0 code;
+          Alcotest.(check bool) "all properties listed" true (has "non-wasting" out)))
+
+let test_bad_inputs () =
+  let code, _ = run_capture "solve /nonexistent/file.txt" in
+  Alcotest.(check bool) "missing file fails" true (code <> 0);
+  with_instance_file "3/2\n" (fun path ->
+      (* requirement > 1 is rejected at parse time *)
+      let code, out = run_capture (Printf.sprintf "solve %s" path) in
+      Alcotest.(check bool) "invalid requirement fails" true (code <> 0);
+      Alcotest.(check bool) "helpful message" true (has "error" out))
+
+let test_simulate () =
+  let code, out = run_capture "simulate --cores 4 -w streaming" in
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "policy table" true
+    (has "fair-share" out && has "greedy-balance" out)
+
+let suite =
+  [
+    Alcotest.test_case "gen | solve" `Quick test_gen_and_solve;
+    Alcotest.test_case "compare --exact" `Quick test_compare_exact;
+    Alcotest.test_case "reduce --decide" `Quick test_reduce_decide;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "export | verify roundtrip" `Quick test_export_verify_roundtrip;
+    Alcotest.test_case "bad inputs fail cleanly" `Quick test_bad_inputs;
+    Alcotest.test_case "simulate" `Quick test_simulate;
+  ]

@@ -1,0 +1,85 @@
+(* Tests for the discrete-continuous scheduling baseline. *)
+
+module D = Crs_discont.Discont
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_validation () =
+  Alcotest.check_raises "alpha > 0" (Invalid_argument "Discont.make: alpha must be > 0")
+    (fun () -> ignore (D.make ~m:2 ~alpha:0.0 [| 1.0 |]));
+  Alcotest.check_raises "positive workloads"
+    (Invalid_argument "Discont.make: workloads must be positive") (fun () ->
+      ignore (D.make ~m:2 ~alpha:1.0 [| 0.0 |]))
+
+let test_closed_forms () =
+  let t = D.make ~m:4 ~alpha:0.5 [| 1.0; 1.0 |] in
+  close "sequential = sum" 2.0 (D.sequential_makespan t);
+  (* alpha = 1/2: T = (1^2 + 1^2)^(1/2) = sqrt 2. *)
+  close "parallel closed form" (sqrt 2.0) (D.parallel_makespan t);
+  let conv = D.make ~m:4 ~alpha:2.0 [| 1.0; 1.0 |] in
+  (* alpha = 2: parallel (1 + 1)^2 = 4 beats nobody. *)
+  close "parallel for convex" 4.0 (D.parallel_makespan conv)
+
+let test_crossover () =
+  (* Concave: parallel wins; convex: sequential wins; alpha = 1: tie. *)
+  let para a = D.parallel_makespan (D.make ~m:8 ~alpha:a [| 2.0; 1.0; 1.0 |]) in
+  let seq a = D.sequential_makespan (D.make ~m:8 ~alpha:a [| 2.0; 1.0; 1.0 |]) in
+  Alcotest.(check bool) "concave: parallel strictly better" true (para 0.5 < seq 0.5);
+  Alcotest.(check bool) "convex: sequential strictly better" true (seq 2.0 < para 2.0);
+  close "alpha=1 ties" (seq 1.0) (para 1.0)
+
+let test_optimal_dispatch () =
+  let conc = D.make ~m:4 ~alpha:0.5 [| 1.0; 2.0 |] in
+  close "concave -> parallel" (D.parallel_makespan conc) (D.optimal_makespan conc);
+  let conv = D.make ~m:4 ~alpha:3.0 [| 1.0; 2.0 |] in
+  close "convex -> sequential" 3.0 (D.optimal_makespan conv)
+
+let test_heuristic_batches () =
+  (* 4 jobs, 2 processors, alpha=1/2: two batches of two. *)
+  let t = D.make ~m:2 ~alpha:0.5 [| 4.0; 1.0; 1.0; 4.0 |] in
+  let r = D.list_heuristic t in
+  Alcotest.(check bool) "valid run" true (Result.is_ok (D.check_run t r));
+  (* Batch 1 = the two 4.0 jobs: (2+2)^... s = 4^2+4^2 -> wait: s = sum
+     w^(1/alpha) = 16+16 = 32, duration = 32^(1/2)... alpha=0.5 =>
+     duration = s^alpha = sqrt 32. Batch 2: s = 1+1 = 2, sqrt 2. *)
+  close "batched makespan" (sqrt 32.0 +. sqrt 2.0) r.D.makespan;
+  Alcotest.(check int) "two events" 2 (List.length r.D.events)
+
+let test_heuristic_matches_parallel_when_n_le_m () =
+  let t = D.make ~m:5 ~alpha:0.6 [| 3.0; 1.0; 0.5 |] in
+  let r = D.list_heuristic t in
+  close "single batch = parallel optimum" (D.parallel_makespan t) r.D.makespan
+
+let prop_heuristic_sound =
+  Helpers.qcheck_case ~count:60 "heuristic runs validate; above known lower bounds"
+    QCheck2.Gen.(
+      triple (int_bound 1_000_000) (int_range 1 4)
+        (float_range 0.2 2.5))
+    (fun (seed, m, alpha) ->
+      let st = Random.State.make [| seed |] in
+      let n = 1 + Random.State.int st 8 in
+      let workloads = Array.init n (fun _ -> 0.25 +. Random.State.float st 4.0) in
+      let t = D.make ~m ~alpha workloads in
+      let r = D.list_heuristic t in
+      let lower =
+        (* Speeds are at most f(1) = 1, so no job beats its workload, and
+           the whole resource processes at most max-batch speed... the
+           simplest sound bounds: longest single workload, and for
+           alpha >= 1 the total workload (concentration optimal). *)
+        Array.fold_left Float.max 0.0 workloads
+      in
+      Result.is_ok (D.check_run t r)
+      && r.D.makespan +. 1e-9 >= lower
+      && (alpha < 1.0 || r.D.makespan +. 1e-9 >= D.sequential_makespan t))
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "closed forms" `Quick test_closed_forms;
+    Alcotest.test_case "concave/convex crossover at alpha=1" `Quick test_crossover;
+    Alcotest.test_case "optimal dispatch" `Quick test_optimal_dispatch;
+    Alcotest.test_case "heuristic batches" `Quick test_heuristic_batches;
+    Alcotest.test_case "heuristic = parallel when n <= m" `Quick
+      test_heuristic_matches_parallel_when_n_le_m;
+    prop_heuristic_sound;
+  ]

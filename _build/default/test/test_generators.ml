@@ -1,0 +1,163 @@
+(* Tests for instance generators: random families and the paper's
+   adversarial constructions. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+module RG = Crs_generators.Random_gen
+module A = Crs_generators.Adversarial
+
+let test_default_random () =
+  let st = Random.State.make [| 1 |] in
+  let inst = RG.instance st in
+  Alcotest.(check int) "m from spec" 3 (Instance.m inst);
+  Alcotest.(check bool) "unit sizes" true (Instance.is_unit_size inst);
+  Alcotest.(check bool) "within job range" true
+    (Instance.n_max inst >= 1 && Instance.n_max inst <= 5)
+
+let prop_requirements_in_range =
+  Helpers.qcheck_case ~count:50 "requirements on the grid, positive, <= 1"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let spec = { RG.default_spec with granularity = 12 } in
+      let inst = RG.instance ~spec st in
+      let ok = ref true in
+      for i = 0 to Instance.m inst - 1 do
+        Array.iter
+          (fun j ->
+            let r = Job.requirement j in
+            if not (Q.(r > Q.zero) && Q.in_unit_interval r) then ok := false;
+            (* On the grid: r * 12 is an integer. *)
+            if not (Q.is_integer (Q.mul r (Q.of_int 12))) then ok := false)
+          (Instance.jobs_on inst i)
+      done;
+      !ok)
+
+let prop_balanced_columns_sum_to_one =
+  Helpers.qcheck_case ~count:30 "balanced_load columns sum to exactly 1"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let spec = { RG.default_spec with m = 4; granularity = 24 } in
+      let inst = RG.balanced_load ~spec st in
+      let n = Instance.n_max inst in
+      let ok = ref (Instance.m inst = 4) in
+      for j = 0 to n - 1 do
+        let col =
+          Q.sum
+            (List.map
+               (fun i -> Job.requirement (Instance.job inst i j))
+               (Crs_util.Misc.range 4))
+        in
+        if not (Q.is_one col) then ok := false
+      done;
+      !ok)
+
+let test_equal_rows () =
+  let st = Random.State.make [| 3 |] in
+  let inst = RG.equal_rows ~m:4 ~n:6 ~granularity:10 st in
+  for i = 0 to 3 do
+    Alcotest.(check int) "row length" 6 (Instance.n_i inst i)
+  done
+
+let test_sized_jobs () =
+  let st = Random.State.make [| 4 |] in
+  let inst = RG.sized_jobs ~m:2 ~n:3 ~granularity:10 ~max_size:3 st in
+  Alcotest.(check bool) "not unit size" false (Instance.is_unit_size inst);
+  for i = 0 to 1 do
+    Array.iter
+      (fun j ->
+        Alcotest.(check bool) "size in [1, 4]" true
+          Q.(Job.size j >= Q.one && Job.size j <= Q.of_int 4))
+      (Instance.jobs_on inst i)
+  done
+
+let test_figure1_instance () =
+  Alcotest.(check int) "3 processors" 3 (Instance.m A.figure1);
+  Alcotest.(check (list int)) "row lengths" [ 4; 5; 3 ]
+    (List.map (Instance.n_i A.figure1) [ 0; 1; 2 ]);
+  Alcotest.check Helpers.check_q "r_23 = 90%" (Helpers.q "9/10")
+    (Job.requirement (Instance.job A.figure1 1 2))
+
+let test_rr_family_structure () =
+  let inst = A.round_robin_family ~n:4 in
+  (* r_1j + r_2j = 1 + 1/n for every j. *)
+  for j = 0 to 3 do
+    Alcotest.check Helpers.check_q "column sum" (Helpers.q "5/4")
+      (Q.add
+         (Job.requirement (Instance.job inst 0 j))
+         (Job.requirement (Instance.job inst 1 j)))
+  done;
+  Alcotest.check Helpers.check_q "last job of proc 1 is 1" Q.one
+    (Job.requirement (Instance.job inst 0 3))
+
+let test_gb_family_requirements_valid () =
+  List.iter
+    (fun (m, blocks) ->
+      let inst = A.greedy_balance_family ~m ~blocks () in
+      Alcotest.(check int) "m rows" m (Instance.m inst);
+      Alcotest.(check int) "m*blocks columns" (m * blocks) (Instance.n_max inst);
+      for i = 0 to m - 1 do
+        Array.iter
+          (fun j ->
+            Alcotest.(check bool) "requirement in (0,1)" true
+              Q.(Job.requirement j > Q.zero && Job.requirement j < Q.one))
+          (Instance.jobs_on inst i)
+      done)
+    [ (2, 1); (2, 8); (3, 5); (5, 3) ]
+
+let test_gb_family_diagonals () =
+  (* The design invariant behind the optimal pipeline: diagonals
+     (r_{1,j}, r_{2,j+1}, ..., r_{m,j+m-1}) sum to exactly 1 for every j
+     >= 2 (1-based), across block boundaries. *)
+  let m = 3 and blocks = 4 in
+  let inst = A.greedy_balance_family ~m ~blocks () in
+  let n = m * blocks in
+  for j = 1 to n - m do
+    (* 0-based column of the diagonal head: j (so 1-based j+1 >= 2). *)
+    let d =
+      Q.sum
+        (List.map
+           (fun i -> Job.requirement (Instance.job inst i (j + i)))
+           (Crs_util.Misc.range m))
+    in
+    Alcotest.check Helpers.check_q (Printf.sprintf "diagonal at col %d" (j + 1)) Q.one d
+  done
+
+let test_gb_family_epsilon_guard () =
+  Alcotest.(check bool) "oversized epsilon rejected" true
+    (try
+       ignore (A.greedy_balance_family ~epsilon:(Helpers.q "1/4") ~m:3 ~blocks:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_heavy_tailed_mixture () =
+  let st = Random.State.make [| 9 |] in
+  let spec = { RG.default_spec with m = 6; jobs_min = 8; jobs_max = 8; granularity = 100 } in
+  let inst = RG.heavy_tailed ~spec st in
+  (* Contains both light (< 1/4) and heavy (> 3/4) jobs. *)
+  let all =
+    List.concat_map
+      (fun i -> Array.to_list (Instance.jobs_on inst i))
+      (Crs_util.Misc.range 6)
+  in
+  Alcotest.(check bool) "has light jobs" true
+    (List.exists (fun j -> Q.(Job.requirement j < Helpers.q "1/4")) all);
+  Alcotest.(check bool) "has heavy jobs" true
+    (List.exists (fun j -> Q.(Job.requirement j > Helpers.q "3/4")) all)
+
+let suite =
+  [
+    Alcotest.test_case "random: defaults" `Quick test_default_random;
+    prop_requirements_in_range;
+    prop_balanced_columns_sum_to_one;
+    Alcotest.test_case "random: equal rows" `Quick test_equal_rows;
+    Alcotest.test_case "random: sized jobs" `Quick test_sized_jobs;
+    Alcotest.test_case "figure 1 instance" `Quick test_figure1_instance;
+    Alcotest.test_case "figure 3 family structure" `Quick test_rr_family_structure;
+    Alcotest.test_case "figure 5 family: valid requirements" `Quick
+      test_gb_family_requirements_valid;
+    Alcotest.test_case "figure 5 family: unit diagonals" `Quick test_gb_family_diagonals;
+    Alcotest.test_case "figure 5 family: epsilon guard" `Quick test_gb_family_epsilon_guard;
+    Alcotest.test_case "heavy-tailed mixture" `Quick test_heavy_tailed_mixture;
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the many-core bus simulator substrate. *)
+
+module M = Crs_manycore
+
+let task name phases = M.Task.make ~name phases
+
+let test_task_validation () =
+  Alcotest.check_raises "empty phases" (Invalid_argument "Task.make: empty phase list")
+    (fun () -> ignore (task "t" []));
+  Alcotest.check_raises "bad demand" (Invalid_argument "Task.make: demand must lie in (0,1]")
+    (fun () -> ignore (task "t" [ M.Task.Io { demand = 1.5; volume = 1.0 } ]));
+  let t = task "t" [ M.Task.Compute 2.0; M.Task.Io { demand = 0.5; volume = 3.0 } ] in
+  Alcotest.(check (float 1e-9)) "ideal ticks" 5.0 (M.Task.total_ideal_ticks t);
+  Alcotest.(check (float 1e-9)) "io fraction" 0.6 (M.Task.io_fraction t);
+  Alcotest.(check int) "phases" 2 (M.Task.num_phases t)
+
+let test_single_task_full_bus () =
+  (* Alone on the bus, a task finishes in its ideal time; the unused
+     capacity is 0.2 per I/O tick plus 1.0 per compute tick. *)
+  let t = task "solo" [ M.Task.Io { demand = 0.8; volume = 4.0 }; M.Task.Compute 2.0 ] in
+  let r = M.Engine.run M.Policy.fair_share [| t |] in
+  Alcotest.(check int) "ideal makespan" 6 r.M.Engine.makespan;
+  Alcotest.(check (float 1e-6)) "unused capacity" 2.8 r.M.Engine.wasted_bandwidth
+
+let test_contention_slows_down () =
+  (* Two full-demand streams must share: each runs at half speed. *)
+  let mk i = task (Printf.sprintf "s%d" i) [ M.Task.Io { demand = 1.0; volume = 4.0 } ] in
+  let r = M.Engine.run M.Policy.fair_share [| mk 0; mk 1 |] in
+  Alcotest.(check int) "8 ticks for 2x4 at capacity 1" 8 r.M.Engine.makespan
+
+let test_fair_share_water_filling () =
+  (* A small demand caps out; the surplus flows to the big one. *)
+  let small = task "small" [ M.Task.Io { demand = 0.2; volume = 5.0 } ] in
+  let big = task "big" [ M.Task.Io { demand = 0.8; volume = 5.0 } ] in
+  let r = M.Engine.run M.Policy.fair_share [| small; big |] in
+  (* Both can run at full speed simultaneously (0.2 + 0.8 = 1). *)
+  Alcotest.(check int) "both ideal" 5 r.M.Engine.makespan;
+  Alcotest.(check (float 1e-6)) "zero waste" 0.0 r.M.Engine.wasted_bandwidth
+
+let test_compute_needs_no_bus () =
+  let c = task "compute" [ M.Task.Compute 3.0 ] in
+  let s = task "stream" [ M.Task.Io { demand = 1.0; volume = 3.0 } ] in
+  let r = M.Engine.run M.Policy.fair_share [| c; s |] in
+  Alcotest.(check int) "run in parallel" 3 r.M.Engine.makespan
+
+let test_policies_feasible () =
+  let st = Random.State.make [| 12 |] in
+  let tasks = M.Workload.io_burst ~cores:6 ~phases:3 ~io_intensity:0.7 st in
+  List.iter
+    (fun (p : M.Policy.t) ->
+      let r = M.Engine.run p tasks in
+      Alcotest.(check bool) (p.name ^ " completes") true (r.M.Engine.makespan > 0);
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: task %d completion recorded" p.name i)
+            true
+            (c >= 1 && c <= r.M.Engine.makespan))
+        r.M.Engine.completion;
+      (* Per-tick feasibility of recorded shares. *)
+      List.iter
+        (fun (rec_ : M.Engine.tick_record) ->
+          let total = Array.fold_left ( +. ) 0.0 rec_.M.Engine.shares in
+          Alcotest.(check bool) "share sum <= 1" true (total <= 1.0 +. 1e-9))
+        r.M.Engine.records)
+    M.Policy.all
+
+let test_round_robin_gates_phases () =
+  (* Two 2-phase tasks: round-robin must not start phase 2 anywhere until
+     phase 1 finished everywhere. *)
+  let t1 = task "a" [ M.Task.Io { demand = 1.0; volume = 2.0 }; M.Task.Io { demand = 0.1; volume = 1.0 } ] in
+  let t2 = task "b" [ M.Task.Io { demand = 0.1; volume = 1.0 }; M.Task.Io { demand = 1.0; volume = 2.0 } ] in
+  let r = M.Engine.run M.Policy.round_robin_phases [| t1; t2 |] in
+  (* Phase boundaries: t2's first phase (0.1 work) finishes immediately,
+     but its second phase waits for t1's heavy first phase. *)
+  let first_finish_b2 =
+    List.find_map
+      (fun (rec_ : M.Engine.tick_record) ->
+        if List.mem (1, 1) rec_.M.Engine.phases_finished then Some rec_.M.Engine.time
+        else None)
+      r.M.Engine.records
+  in
+  let first_finish_a1 =
+    List.find_map
+      (fun (rec_ : M.Engine.tick_record) ->
+        if List.mem (0, 0) rec_.M.Engine.phases_finished then Some rec_.M.Engine.time
+        else None)
+      r.M.Engine.records
+  in
+  match (first_finish_a1, first_finish_b2) with
+  | Some a, Some b -> Alcotest.(check bool) "b2 ends after a1" true (b > a)
+  | _ -> Alcotest.fail "missing phase completions"
+
+let test_stats () =
+  let t = task "t" [ M.Task.Io { demand = 0.5; volume = 2.0 } ] in
+  let r = M.Engine.run M.Policy.fair_share [| t |] in
+  let s = M.Stats.of_result [| t |] r in
+  Alcotest.(check int) "makespan" 2 s.M.Stats.makespan;
+  Alcotest.(check (float 1e-9)) "slowdown 1.0" 1.0 s.M.Stats.max_slowdown;
+  Alcotest.(check (float 1e-9)) "bus half used" 0.5 s.M.Stats.bus_utilization
+
+let test_bridge_to_crsharing () =
+  let tasks =
+    [|
+      task "a" [ M.Task.Io { demand = 0.5; volume = 2.0 }; M.Task.Compute 1.0 ];
+      task "b" [ M.Task.Io { demand = 0.25; volume = 1.5 } ];
+    |]
+  in
+  let inst = M.Workload.to_crsharing ~granularity:8 tasks in
+  Alcotest.(check int) "2 processors" 2 (Crs_core.Instance.m inst);
+  (* a: 2 unit I/O jobs (r=1/2) + 1 compute (r=0); b: 1 full (1/4) + 1
+     fractional (1/4 * 1/2 = 1/8, exact on the 1/8 grid). *)
+  Alcotest.(check int) "row a" 3 (Crs_core.Instance.n_i inst 0);
+  Alcotest.(check int) "row b" 2 (Crs_core.Instance.n_i inst 1);
+  Alcotest.check Helpers.check_q "a's I/O requirement" (Helpers.q "1/2")
+    (Crs_core.Job.requirement (Crs_core.Instance.job inst 0 0));
+  Alcotest.check Helpers.check_q "b's fractional tail" (Helpers.q "1/8")
+    (Crs_core.Job.requirement (Crs_core.Instance.job inst 1 1))
+
+let prop_greedy_balance_never_losing_badly =
+  Helpers.qcheck_case ~count:15 "simulator GB within 2x of the work bound"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let tasks = M.Workload.io_burst ~cores:5 ~phases:3 ~io_intensity:0.8 st in
+      let r = M.Engine.run M.Policy.greedy_balance tasks in
+      (* Work bound: total I/O work at bus capacity 1 + per-core tick count. *)
+      let work =
+        Array.fold_left
+          (fun acc (t : M.Task.t) ->
+            List.fold_left
+              (fun acc -> function
+                | M.Task.Compute _ -> acc
+                | M.Task.Io { demand; volume } -> acc +. (demand *. volume))
+              acc t.M.Task.phases)
+          0.0 tasks
+      in
+      let ticks =
+        Array.fold_left
+          (fun acc (t : M.Task.t) -> max acc (M.Task.total_ideal_ticks t))
+          0.0 tasks
+      in
+      float_of_int r.M.Engine.makespan <= (2.0 *. Float.max work ticks) +. 2.0)
+
+let test_trace_format_roundtrip () =
+  let tasks =
+    [|
+      task "a" [ M.Task.Compute 2.5; M.Task.Io { demand = 0.8; volume = 3.0 } ];
+      task "b" [ M.Task.Io { demand = 0.5; volume = 12.0 } ];
+    |]
+  in
+  match M.Trace_format.parse (M.Trace_format.to_string tasks) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check int) "task count" 2 (Array.length parsed);
+    Alcotest.(check string) "names" "a" parsed.(0).M.Task.name;
+    Alcotest.(check (float 1e-9)) "ideal ticks preserved"
+      (M.Task.total_ideal_ticks tasks.(0))
+      (M.Task.total_ideal_ticks parsed.(0))
+
+let test_trace_format_errors () =
+  let bad input =
+    Alcotest.(check bool) ("rejects: " ^ input) true
+      (Result.is_error (M.Trace_format.parse input))
+  in
+  bad "";
+  bad "io 0.5 2\n";
+  bad "task t\n";
+  bad "task t\n  io 1.5 2\n";
+  bad "task t\n  frobnicate 3\n";
+  bad "task t\n  io abc 2\n"
+
+let test_run_csv_and_svg () =
+  let tasks =
+    [| task "x" [ M.Task.Io { demand = 0.5; volume = 2.0 } ]; task "y" [ M.Task.Compute 1.0 ] |]
+  in
+  let r = M.Engine.run M.Policy.fair_share tasks in
+  let csv = M.Trace_format.run_to_csv r in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  (* header + ticks * cores rows *)
+  Alcotest.(check int) "csv rows" (1 + (r.M.Engine.makespan * 2)) (List.length lines);
+  let svg = M.Trace_format.timeline_svg tasks r in
+  Alcotest.(check bool) "svg has task names" true
+    (Helpers.contains ~needle:">x<" svg && Helpers.contains ~needle:">y<" svg)
+
+let suite =
+  [
+    Alcotest.test_case "task: validation and metrics" `Quick test_task_validation;
+    Alcotest.test_case "trace format: roundtrip" `Quick test_trace_format_roundtrip;
+    Alcotest.test_case "trace format: rejects bad input" `Quick test_trace_format_errors;
+    Alcotest.test_case "run export: csv + timeline svg" `Quick test_run_csv_and_svg;
+    Alcotest.test_case "engine: solo task ideal time" `Quick test_single_task_full_bus;
+    Alcotest.test_case "engine: contention halves speed" `Quick test_contention_slows_down;
+    Alcotest.test_case "policy: fair-share water filling" `Quick
+      test_fair_share_water_filling;
+    Alcotest.test_case "engine: compute needs no bus" `Quick test_compute_needs_no_bus;
+    Alcotest.test_case "policies: all feasible and complete" `Quick test_policies_feasible;
+    Alcotest.test_case "round-robin gates phases" `Quick test_round_robin_gates_phases;
+    Alcotest.test_case "stats derivation" `Quick test_stats;
+    Alcotest.test_case "bridge to the exact model" `Quick test_bridge_to_crsharing;
+    prop_greedy_balance_never_losing_badly;
+  ]

@@ -1,0 +1,261 @@
+(* Tests for the bignum substrate: Natural, Bigint, Rational.
+   Strategy: unit tests on hand-picked values and boundaries, plus qcheck
+   properties cross-validating against native int arithmetic (exact for
+   small operands) and checking algebraic laws for large ones. *)
+
+module N = Crs_num.Natural
+module Z = Crs_num.Bigint
+module Q = Crs_num.Rational
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Natural ---------- *)
+
+let test_natural_roundtrip () =
+  List.iter
+    (fun n -> check_int "of_int/to_int" n (N.to_int_exn (N.of_int n)))
+    [ 0; 1; 2; 1073741823; 1073741824; max_int ]
+
+let test_natural_strings () =
+  check_str "zero" "0" (N.to_string N.zero);
+  check_str "small" "12345" (N.to_string (N.of_int 12345));
+  let big = "123456789012345678901234567890123456789" in
+  check_str "big roundtrip" big (N.to_string (N.of_string big));
+  check_str "leading zeros parse" "42" (N.to_string (N.of_string "0042"));
+  Alcotest.check_raises "empty string" (Invalid_argument "Natural.of_string: empty string")
+    (fun () -> ignore (N.of_string ""))
+
+let test_natural_add_sub () =
+  let a = N.of_string "99999999999999999999999999" in
+  let b = N.of_int 1 in
+  check_str "carry chain" "100000000000000000000000000" (N.to_string (N.add a b));
+  check_str "sub undoes add" (N.to_string a) (N.to_string (N.sub (N.add a b) b));
+  Alcotest.check_raises "negative sub"
+    (Invalid_argument "Natural.sub: would be negative") (fun () ->
+      ignore (N.sub b a))
+
+let test_natural_mul_div () =
+  let a = N.of_string "123456789123456789" in
+  let b = N.of_string "987654321987654321" in
+  let p = N.mul a b in
+  let qt, r = N.divmod p a in
+  check_bool "divmod exact" true (N.equal qt b && N.is_zero r);
+  let qt2, r2 = N.divmod (N.add p (N.of_int 17)) a in
+  check_bool "divmod remainder" true (N.equal qt2 b && N.equal r2 (N.of_int 17));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (N.divmod a N.zero))
+
+let test_natural_gcd_lcm () =
+  check_int "gcd(12,18)" 6 (N.to_int_exn (N.gcd (N.of_int 12) (N.of_int 18)));
+  check_int "gcd(0,n)" 7 (N.to_int_exn (N.gcd N.zero (N.of_int 7)));
+  check_int "lcm(4,6)" 12 (N.to_int_exn (N.lcm (N.of_int 4) (N.of_int 6)));
+  check_bool "lcm with zero" true (N.is_zero (N.lcm N.zero (N.of_int 9)))
+
+let test_natural_pow_shift () =
+  check_str "2^100" "1267650600228229401496703205376"
+    (N.to_string (N.pow N.two 100));
+  check_int "pow zero exponent" 1 (N.to_int_exn (N.pow (N.of_int 9) 0));
+  let n = N.of_string "123456789123456789" in
+  check_bool "shift roundtrip" true
+    (N.equal n (N.shift_right (N.shift_left n 37) 37));
+  check_bool "shift_right drops" true
+    (N.equal (N.of_int 1) (N.shift_right (N.of_int 3) 1))
+
+let test_natural_canonical () =
+  check_bool "canonical zero" true (N.is_canonical N.zero);
+  check_bool "canonical after sub to zero" true
+    (N.is_canonical (N.sub (N.of_int 5) (N.of_int 5)));
+  check_int "limbs of zero" 0 (N.num_limbs N.zero)
+
+let nat_pair = QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+
+let prop_natural_matches_int =
+  Helpers.qcheck_case "Natural add/mul/divmod match int" nat_pair (fun (a, b) ->
+      let na = N.of_int a and nb = N.of_int b in
+      N.to_int_exn (N.add na nb) = a + b
+      && N.to_int_exn (N.mul na nb) = a * b
+      && (b = 0
+         || N.to_int_exn (N.div na nb) = a / b
+            && N.to_int_exn (N.rem na nb) = a mod b)
+      && N.compare na nb = compare a b)
+
+let prop_natural_mul_assoc =
+  Helpers.qcheck_case "Natural big multiplication associativity"
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b, c) ->
+      (* Force multi-limb values by scaling up. *)
+      let big x = N.pow (N.of_int (x + 2)) 7 in
+      let x = big a and y = big b and z = big c in
+      N.equal (N.mul (N.mul x y) z) (N.mul x (N.mul y z)))
+
+let prop_natural_divmod_big =
+  Helpers.qcheck_case ~count:200 "Knuth-D divmod identity on multi-limb values"
+    QCheck2.Gen.(
+      triple (int_range 2 1_000_000) (int_range 2 1_000_000) (int_range 1 9))
+    (fun (a, b, e) ->
+      (* Build dividends/divisors spanning several limbs with varied
+         top-limb patterns (the q_hat estimation's hard cases). *)
+      let x = N.add (N.pow (N.of_int a) (e + 3)) (N.of_int b) in
+      let y = N.add (N.pow (N.of_int b) e) (N.of_int a) in
+      let q, r = N.divmod x y in
+      N.equal x (N.add (N.mul q y) r) && N.compare r y < 0 && N.is_canonical r
+      && N.is_canonical q)
+
+let prop_natural_divmod_adversarial =
+  Helpers.qcheck_case ~count:200 "divmod near-boundary cases (add-back path)"
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 0 3))
+    (fun (limbs, delta) ->
+      (* x = y * k - delta for full-limb y: exercises the q_hat
+         overestimate / add-back branch. *)
+      let y = N.sub (N.shift_left N.one (30 * limbs)) N.one in
+      let k = N.of_int 977 in
+      let x0 = N.mul y k in
+      let x = if delta = 0 then x0 else N.sub x0 (N.of_int delta) in
+      let q, r = N.divmod x y in
+      N.equal x (N.add (N.mul q y) r) && N.compare r y < 0)
+
+let prop_natural_string_roundtrip =
+  Helpers.qcheck_case "Natural decimal roundtrip"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun a ->
+      let n = N.pow (N.of_int (a + 2)) 9 in
+      N.equal n (N.of_string (N.to_string n)))
+
+(* ---------- Bigint ---------- *)
+
+let test_bigint_signs () =
+  check_int "neg" (-5) (Z.to_int_exn (Z.neg (Z.of_int 5)));
+  check_int "abs" 5 (Z.to_int_exn (Z.abs (Z.of_int (-5))));
+  check_int "sign pos" 1 (Z.sign (Z.of_int 3));
+  check_int "sign neg" (-1) (Z.sign (Z.of_int (-3)));
+  check_int "sign zero" 0 (Z.sign Z.zero);
+  check_int "min_int roundtrip" min_int (Z.to_int_exn (Z.of_int min_int))
+
+let test_bigint_euclidean () =
+  (* Euclidean division: remainder in [0, |b|). *)
+  List.iter
+    (fun (a, b) ->
+      let qt, r = Z.divmod (Z.of_int a) (Z.of_int b) in
+      let qt = Z.to_int_exn qt and r = Z.to_int_exn r in
+      check_bool
+        (Printf.sprintf "divmod %d %d" a b)
+        true
+        (r >= 0 && r < abs b && (qt * b) + r = a))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3); (0, 5) ]
+
+let test_bigint_strings () =
+  check_str "negative" "-12345678901234567890123"
+    (Z.to_string (Z.of_string "-12345678901234567890123"));
+  check_str "plus sign" "17" (Z.to_string (Z.of_string "+17"))
+
+let test_bigint_pow () =
+  check_int "(-2)^3" (-8) (Z.to_int_exn (Z.pow (Z.of_int (-2)) 3));
+  check_int "(-2)^4" 16 (Z.to_int_exn (Z.pow (Z.of_int (-2)) 4));
+  check_int "0^0" 1 (Z.to_int_exn (Z.pow Z.zero 0))
+
+let int_pair = QCheck2.Gen.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+
+let prop_bigint_ring =
+  Helpers.qcheck_case "Bigint add/sub/mul match int" int_pair (fun (a, b) ->
+      let za = Z.of_int a and zb = Z.of_int b in
+      Z.to_int_exn (Z.add za zb) = a + b
+      && Z.to_int_exn (Z.sub za zb) = a - b
+      && Z.to_int_exn (Z.mul za zb) = a * b
+      && Z.compare za zb = compare a b)
+
+(* ---------- Rational ---------- *)
+
+let test_rational_normalization () =
+  check_str "reduces" "1/3" (Q.to_string (Q.of_ints 7 21));
+  check_str "sign in num" "-1/3" (Q.to_string (Q.of_ints 7 (-21)));
+  check_str "integer" "4" (Q.to_string (Q.of_ints 8 2));
+  check_str "zero canonical" "0" (Q.to_string (Q.of_ints 0 17));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Q.of_ints 1 0))
+
+let test_rational_parse () =
+  check_str "fraction" "5/4" (Q.to_string (Helpers.q "5/4"));
+  check_str "decimal" "-5/4" (Q.to_string (Helpers.q "-1.25"));
+  check_str "decimal frac only" "1/2" (Q.to_string (Helpers.q "0.5"));
+  check_str "integer string" "42" (Q.to_string (Helpers.q "42"))
+
+let test_rational_rounding () =
+  check_int "floor 7/2" 3 (Q.floor_int (Q.of_ints 7 2));
+  check_int "floor -7/2" (-4) (Q.floor_int (Q.of_ints (-7) 2));
+  check_int "ceil 7/2" 4 (Q.ceil_int (Q.of_ints 7 2));
+  check_int "ceil -7/2" (-3) (Q.ceil_int (Q.of_ints (-7) 2));
+  check_int "floor integer" 5 (Q.floor_int (Q.of_int 5));
+  check_int "ceil integer" 5 (Q.ceil_int (Q.of_int 5))
+
+let test_rational_compare () =
+  check_bool "1/3 < 1/2" true Q.(Q.of_ints 1 3 < Q.of_ints 1 2);
+  check_bool "-1/2 < 1/3" true Q.(Q.of_ints (-1) 2 < Q.of_ints 1 3);
+  check_bool "in unit interval" true (Q.in_unit_interval Q.one);
+  check_bool "outside unit interval" false (Q.in_unit_interval (Q.of_ints 3 2));
+  Alcotest.check Helpers.check_q "clamp" Q.one
+    (Q.clamp ~lo:Q.zero ~hi:Q.one (Q.of_ints 3 2))
+
+let test_rational_to_float () =
+  Alcotest.(check (float 1e-9)) "3/4" 0.75 (Q.to_float (Q.of_ints 3 4));
+  Alcotest.(check (float 1e-6)) "big ratio" 0.5
+    (Q.to_float (Q.make (Z.of_string "500000000000000000000") (Z.of_string "1000000000000000000000")))
+
+let rat_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c, d) -> (Q.of_ints a (b + 1), Q.of_ints c (d + 1)))
+      (quad (int_range (-1000) 1000) (int_bound 1000) (int_range (-1000) 1000)
+         (int_bound 1000)))
+
+let prop_rational_field =
+  Helpers.qcheck_case "Rational field laws" rat_gen (fun (x, y) ->
+      Q.equal (Q.add x y) (Q.add y x)
+      && Q.equal (Q.mul x y) (Q.mul y x)
+      && Q.equal (Q.sub (Q.add x y) y) x
+      && (Q.is_zero y || Q.equal (Q.div (Q.mul x y) y) x)
+      && Q.equal (Q.neg (Q.neg x)) x)
+
+let prop_rational_ordering =
+  Helpers.qcheck_case "Rational order is total and consistent" rat_gen
+    (fun (x, y) ->
+      let c = Q.compare x y in
+      (c = 0) = Q.equal x y
+      && (c <= 0) = Q.(x <= y)
+      && Q.equal (Q.min x y) (if c <= 0 then x else y)
+      && Q.(Q.min x y <= Q.max x y))
+
+let prop_rational_floor_ceil =
+  Helpers.qcheck_case "floor <= x <= ceil, gap < 1" rat_gen (fun (x, _) ->
+      let f = Q.of_bigint (Q.floor x) and c = Q.of_bigint (Q.ceil x) in
+      Q.(f <= x) && Q.(x <= c) && Q.(Q.sub c f <= Q.one))
+
+let suite =
+  [
+    Alcotest.test_case "natural: int roundtrip" `Quick test_natural_roundtrip;
+    Alcotest.test_case "natural: decimal strings" `Quick test_natural_strings;
+    Alcotest.test_case "natural: add/sub carries" `Quick test_natural_add_sub;
+    Alcotest.test_case "natural: mul/divmod" `Quick test_natural_mul_div;
+    Alcotest.test_case "natural: gcd/lcm" `Quick test_natural_gcd_lcm;
+    Alcotest.test_case "natural: pow/shift" `Quick test_natural_pow_shift;
+    Alcotest.test_case "natural: canonical form" `Quick test_natural_canonical;
+    prop_natural_matches_int;
+    prop_natural_mul_assoc;
+    prop_natural_divmod_big;
+    prop_natural_divmod_adversarial;
+    prop_natural_string_roundtrip;
+    Alcotest.test_case "bigint: signs" `Quick test_bigint_signs;
+    Alcotest.test_case "bigint: euclidean division" `Quick test_bigint_euclidean;
+    Alcotest.test_case "bigint: strings" `Quick test_bigint_strings;
+    Alcotest.test_case "bigint: pow" `Quick test_bigint_pow;
+    prop_bigint_ring;
+    Alcotest.test_case "rational: normalization" `Quick test_rational_normalization;
+    Alcotest.test_case "rational: parsing" `Quick test_rational_parse;
+    Alcotest.test_case "rational: rounding" `Quick test_rational_rounding;
+    Alcotest.test_case "rational: comparisons" `Quick test_rational_compare;
+    Alcotest.test_case "rational: to_float" `Quick test_rational_to_float;
+    prop_rational_field;
+    prop_rational_ordering;
+    prop_rational_floor_ceil;
+  ]

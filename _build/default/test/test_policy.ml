@@ -1,0 +1,100 @@
+(* Tests for the policy runner and stock policies. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+
+let q = Helpers.q
+
+let test_initial_state () =
+  let inst = Helpers.instance_of_strings [ [ "1/2" ]; [] ] in
+  let s = Policy.initial inst in
+  Alcotest.(check bool) "proc 0 active" true (Policy.active s 0);
+  Alcotest.(check bool) "proc 1 done" false (Policy.active s 1);
+  Alcotest.(check bool) "not done overall" false (Policy.is_done s);
+  Alcotest.(check int) "jobs remaining" 1 (Policy.jobs_remaining s 0);
+  Alcotest.check Helpers.check_q "remaining work" (q "1/2") (Policy.remaining_work s 0);
+  Alcotest.check Helpers.check_q "remaining work of done proc" Q.zero
+    (Policy.remaining_work s 1)
+
+let test_advance () =
+  let inst = Helpers.instance_of_strings [ [ "1/2"; "1/4" ] ] in
+  let s = Policy.initial inst in
+  let s = Policy.advance s [| q "1/2" |] in
+  Alcotest.(check int) "time advanced" 2 s.Policy.time;
+  Alcotest.(check int) "first job done" 1 s.Policy.next_job.(0);
+  Alcotest.check Helpers.check_q "fresh volume" Q.one s.Policy.remaining_volume.(0);
+  let s = Policy.advance s [| q "1/8" |] in
+  Alcotest.check Helpers.check_q "half the second job left" Q.half
+    s.Policy.remaining_volume.(0)
+
+let test_run_completes () =
+  let inst = Helpers.instance_of_strings [ [ "1/2"; "1/2" ]; [ "1"; "1/4" ] ] in
+  List.iter
+    (fun (name, policy) ->
+      let sched = Policy.run policy inst in
+      let trace = Execution.run_exn inst sched in
+      Alcotest.(check bool) (name ^ " completes") true trace.Execution.completed)
+    Crs_algorithms.Heuristics.all
+
+let test_run_rejects_infeasible_policy () =
+  let inst = Helpers.instance_of_strings [ [ "1" ] ] in
+  let bad _ = [| q "3/2" |] in
+  Alcotest.check_raises "share > 1" (Failure "Policy.run: share outside [0,1]")
+    (fun () -> ignore (Policy.run bad inst));
+  let overused (s : Policy.state) =
+    Array.make (Instance.m s.Policy.instance) (q "3/5")
+  in
+  let inst2 = Helpers.instance_of_strings [ [ "1" ]; [ "1" ] ] in
+  Alcotest.check_raises "sum > 1" (Failure "Policy.run: resource overused")
+    (fun () -> ignore (Policy.run overused inst2))
+
+let test_run_fuel () =
+  let inst = Helpers.instance_of_strings [ [ "1" ] ] in
+  Alcotest.check_raises "idle never finishes"
+    (Failure "Policy.run: fuel exhausted (policy not making progress?)")
+    (fun () -> ignore (Policy.run ~max_steps:5 Policy.idle inst))
+
+let test_empty_instance () =
+  let inst = Instance.create [| [||] |] in
+  let sched = Policy.run Policy.uniform inst in
+  Alcotest.(check int) "zero steps" 0 (Schedule.horizon sched)
+
+let test_greedy_fill_priority () =
+  (* greedy_fill feeds in the given order; the head gets its full usable
+     amount. *)
+  let inst = Helpers.instance_of_strings [ [ "3/4" ]; [ "3/4" ] ] in
+  let by _ a b = a > b in
+  let shares = Policy.greedy_fill ~by (Policy.initial inst) in
+  Alcotest.check Helpers.check_q "high-priority proc 1 full" (q "3/4") shares.(1);
+  Alcotest.check Helpers.check_q "leftover to proc 0" (q "1/4") shares.(0)
+
+let test_uniform_caps () =
+  (* uniform gives 1/k each, capped at what the job can use. *)
+  let inst = Helpers.instance_of_strings [ [ "1/8" ]; [ "1" ] ] in
+  let shares = Policy.uniform (Policy.initial inst) in
+  Alcotest.check Helpers.check_q "capped at usable" (q "1/8") shares.(0);
+  Alcotest.check Helpers.check_q "fair share" Q.half shares.(1)
+
+let prop_policies_feasible_and_complete =
+  Helpers.qcheck_case ~count:40 "stock policies always emit feasible schedules"
+    (Helpers.gen_instance ()) (fun instance ->
+      List.for_all
+        (fun (_, policy) ->
+          let sched = Policy.run policy instance in
+          Result.is_ok (Schedule.check_feasible sched)
+          && (Execution.run_exn instance sched).Execution.completed)
+        Crs_algorithms.Heuristics.all)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "advance semantics" `Quick test_advance;
+    Alcotest.test_case "all stock policies complete" `Quick test_run_completes;
+    Alcotest.test_case "infeasible policies rejected" `Quick
+      test_run_rejects_infeasible_policy;
+    Alcotest.test_case "fuel guard" `Quick test_run_fuel;
+    Alcotest.test_case "instance with no jobs" `Quick test_empty_instance;
+    Alcotest.test_case "greedy_fill respects priority" `Quick test_greedy_fill_priority;
+    Alcotest.test_case "uniform caps at usable" `Quick test_uniform_caps;
+    prop_policies_feasible_and_complete;
+  ]

@@ -1,0 +1,87 @@
+(* Tests for crs_util: priority queue, union-find, misc helpers. *)
+
+module PQ = Crs_util.Pqueue.Make (Int)
+module UF = Crs_util.Union_find
+
+let test_pqueue_basic () =
+  Alcotest.(check bool) "empty" true (PQ.is_empty PQ.empty);
+  Alcotest.(check (option int)) "find_min empty" None (PQ.find_min PQ.empty);
+  let h = PQ.of_list [ 5; 3; 8; 1; 9; 1 ] in
+  Alcotest.(check (option int)) "min" (Some 1) (PQ.find_min h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 5; 8; 9 ] (PQ.to_sorted_list h);
+  Alcotest.(check int) "size" 6 (PQ.size h)
+
+let test_pqueue_merge () =
+  let a = PQ.of_list [ 4; 2 ] and b = PQ.of_list [ 3; 1 ] in
+  Alcotest.(check (list int)) "merge drains sorted" [ 1; 2; 3; 4 ]
+    (PQ.to_sorted_list (PQ.merge a b));
+  Alcotest.(check (list int)) "merge with empty" [ 1; 3 ]
+    (PQ.to_sorted_list (PQ.merge PQ.empty b))
+
+let prop_pqueue_sorts =
+  Helpers.qcheck_case "pqueue drains any list sorted"
+    QCheck2.Gen.(list_size (int_bound 200) (int_range (-1000) 1000))
+    (fun l -> PQ.to_sorted_list (PQ.of_list l) = List.sort compare l)
+
+let prop_pqueue_pop_min =
+  Helpers.qcheck_case "pop always yields the minimum"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range (-100) 100))
+    (fun l ->
+      let h = PQ.of_list l in
+      match PQ.pop h with
+      | None -> false
+      | Some (x, rest) ->
+        x = List.fold_left min (List.hd l) l && PQ.size rest = List.length l - 1)
+
+let test_union_find () =
+  let uf = UF.create 6 in
+  Alcotest.(check int) "initial count" 6 (UF.count uf);
+  UF.union uf 0 1;
+  UF.union uf 2 3;
+  UF.union uf 1 2;
+  Alcotest.(check bool) "same after chain" true (UF.same uf 0 3);
+  Alcotest.(check bool) "separate" false (UF.same uf 0 4);
+  Alcotest.(check int) "count after unions" 3 (UF.count uf);
+  UF.union uf 0 3;
+  Alcotest.(check int) "idempotent union" 3 (UF.count uf);
+  let groups = UF.groups uf in
+  Alcotest.(check int) "group count" 3 (Array.length groups);
+  Alcotest.(check (list int)) "first group sorted" [ 0; 1; 2; 3 ] groups.(0);
+  Alcotest.(check (list int)) "singleton group" [ 4 ] groups.(1)
+
+let prop_union_find_partition =
+  Helpers.qcheck_case "groups partition the universe"
+    QCheck2.Gen.(list_size (int_bound 50) (pair (int_bound 19) (int_bound 19)))
+    (fun edges ->
+      let uf = UF.create 20 in
+      List.iter (fun (a, b) -> UF.union uf a b) edges;
+      let groups = UF.groups uf in
+      let members = Array.to_list groups |> List.concat |> List.sort compare in
+      members = List.init 20 (fun i -> i)
+      && Array.length groups = UF.count uf)
+
+let test_misc () =
+  Alcotest.(check int) "array_sum_int" 10 (Crs_util.Misc.array_sum_int [| 1; 2; 3; 4 |]);
+  Alcotest.(check int) "array_max_int" 4 (Crs_util.Misc.array_max_int [| 1; 4; 2 |]);
+  Alcotest.(check int) "argmax first on ties" 1
+    (Crs_util.Misc.array_argmax ~compare [| 1; 5; 5; 2 |]);
+  Alcotest.(check int) "argmin" 0 (Crs_util.Misc.array_argmin ~compare [| 1; 5; 5; 2 |]);
+  Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Crs_util.Misc.range 3);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Crs_util.Misc.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1 ] (Crs_util.Misc.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Crs_util.Misc.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check string) "string_repeat" "ababab" (Crs_util.Misc.string_repeat "ab" 3);
+  Alcotest.(check (list string)) "split_on_string" [ "a"; "b"; "" ]
+    (Crs_util.Misc.split_on_string ~sep:"--" "a--b--");
+  Alcotest.(check (float 1e-9)) "float_mean" 2.0 (Crs_util.Misc.float_mean [ 1.0; 2.0; 3.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "pqueue: basics" `Quick test_pqueue_basic;
+    Alcotest.test_case "pqueue: merge" `Quick test_pqueue_merge;
+    prop_pqueue_sorts;
+    prop_pqueue_pop_min;
+    Alcotest.test_case "union-find: unions and groups" `Quick test_union_find;
+    prop_union_find_partition;
+    Alcotest.test_case "misc helpers" `Quick test_misc;
+  ]
