@@ -6,7 +6,7 @@
    DESIGN.md section 5 for the index and EXPERIMENTS.md for recorded
    results). Run `dune exec bench/main.exe` for all experiments, pass an
    experiment id (f1 f2 f3 f4 f5 t3 t5 t6 t7 l56 mc ext bp dc fa mr
-   ablation) to run one, or `micro` for the Bechamel runtime
+   ablation campaign) to run one, or `micro` for the Bechamel runtime
    micro-benchmarks. *)
 
 module Q = Crs_num.Rational
@@ -694,6 +694,74 @@ let exp_ablation () =
         (Crs_algorithms.Heuristics.makespan_of policy fam))
     variants
 
+(* ---------- campaign: parallel batch-evaluation subsystem ---------- *)
+
+let exp_campaign () =
+  banner "campaign" "domain-pool campaign runner (sequential vs parallel)"
+    "greedy-vs-opt ratio sweeps (t5/t6 style) fan out across OCaml domains; \
+     payloads are byte-identical at any pool size";
+  let module C = Crs_campaign in
+  let spec =
+    {
+      C.Spec.family = C.Spec.Uniform;
+      m = 3;
+      n = 4;
+      granularity = 10;
+      seed_lo = 1;
+      seed_hi = 60;
+      algorithms = [ "greedy-balance"; "round-robin" ];
+      baseline = C.Spec.Exact;
+      fuel = Some 5_000_000;
+    }
+  in
+  let items = Array.length (C.Spec.expand spec) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = time (fun () -> C.Runner.run ~domains:1 spec) in
+  let domains = 4 in
+  let par, par_s = time (fun () -> C.Runner.run ~domains spec) in
+  let seq_digest = C.Report.payload_digest seq in
+  let par_digest = C.Report.payload_digest par in
+  assert (seq_digest = par_digest);
+  let speedup = seq_s /. Float.max par_s 1e-9 in
+  let rate t = float_of_int items /. Float.max t 1e-9 in
+  print_string
+    (T.render
+       ~header:[ "mode"; "items"; "wall s"; "items/s"; "payload digest" ]
+       [
+         [ "sequential"; string_of_int items; Printf.sprintf "%.3f" seq_s;
+           Printf.sprintf "%.1f" (rate seq_s); seq_digest ];
+         [ Printf.sprintf "pool (%d domains)" domains; string_of_int items;
+           Printf.sprintf "%.3f" par_s; Printf.sprintf "%.1f" (rate par_s);
+           par_digest ];
+       ]);
+  let summary = C.Report.summarize seq in
+  Printf.printf "speedup %.2fx on %d domains (%d hardware core%s available)\n"
+    speedup domains
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  Printf.printf "sweep: %d done, %d timeout, mean ratio %s\n" summary.C.Report.completed
+    summary.C.Report.timeouts
+    (match summary.C.Report.mean_ratio with
+    | Some r -> Printf.sprintf "%.4f" r
+    | None -> "-");
+  let json =
+    Printf.sprintf
+      "{\"items\":%d,\"domains\":%d,\"hardware_cores\":%d,\"sequential_s\":%.6f,\
+       \"parallel_s\":%.6f,\"sequential_items_per_s\":%.2f,\
+       \"parallel_items_per_s\":%.2f,\"speedup\":%.4f,\"payloads_identical\":%b}\n"
+      items domains
+      (Domain.recommended_domain_count ())
+      seq_s par_s (rate seq_s) (rate par_s) speedup
+      (seq_digest = par_digest)
+  in
+  Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_campaign.json\n"
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -760,6 +828,7 @@ let experiments =
     ("t3", exp_t3); ("t5", exp_t5); ("t6", exp_t6); ("t7", exp_t7);
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
+    ("campaign", exp_campaign);
   ]
 
 let () =

@@ -1,8 +1,8 @@
 (* crsched — command-line front end for the CRSharing library.
 
-   Subcommands: gen, solve, compare, render, graph, normalize, reduce,
-   simulate. Instances are text files (one processor per line, jobs as
-   rationals; see Instance.of_string). *)
+   Subcommands: gen, solve, compare, campaign, render, graph, normalize,
+   reduce, simulate. Instances are text files (one processor per line,
+   jobs as rationals; see Instance.of_string). *)
 
 open Cmdliner
 module Q = Crs_num.Rational
@@ -20,21 +20,9 @@ let instance_arg =
   let doc = "Instance file (one processor per line; '-' for stdin)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc)
 
-let algorithms : (string * (Instance.t -> Schedule.t)) list =
-  [
-    ("greedy-balance", Crs_algorithms.Greedy_balance.schedule);
-    ("round-robin", Crs_algorithms.Round_robin.schedule);
-    ("uniform", Policy.run Crs_algorithms.Heuristics.uniform);
-    ("proportional", Policy.run Crs_algorithms.Heuristics.proportional);
-    ("staircase", Policy.run Crs_algorithms.Heuristics.staircase);
-    ( "fewest-remaining-first",
-      Policy.run Crs_algorithms.Heuristics.fewest_remaining_first );
-    ( "largest-requirement-first",
-      Policy.run Crs_algorithms.Heuristics.largest_requirement_first );
-    ( "smallest-requirement-first",
-      Policy.run Crs_algorithms.Heuristics.smallest_requirement_first );
-    ("optimal", Crs_algorithms.Solver.optimal_schedule);
-  ]
+(* Shared with the campaign runner so `campaign`, `compare` and the
+   batch subsystem agree on algorithm names and semantics. *)
+let algorithms = Crs_campaign.Runner.algorithms
 
 let algo_conv = Arg.enum (List.map (fun (n, f) -> (n, (n, f))) algorithms)
 
@@ -111,8 +99,27 @@ let compare_cmd =
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact optimum (small instances only).")
   in
-  let run path exact =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit JSONL records (campaign schema) instead of a table.")
+  in
+  let run path exact json =
     let instance = read_instance path in
+    if json then begin
+      let names =
+        List.filter (fun n -> n <> "optimal" || exact)
+          Crs_campaign.Runner.algorithm_names
+      in
+      let baseline =
+        if exact then Crs_campaign.Spec.Exact else Crs_campaign.Spec.Lower_bound
+      in
+      List.iter
+        (fun r -> print_endline (Crs_campaign.Report.to_json r))
+        (Crs_campaign.Runner.compare_records ~names ~baseline ~family:"file"
+           instance)
+    end
+    else begin
     let lb = Crs_algorithms.Solver.certified_lower_bound instance in
     let opt = if exact then Some (Crs_algorithms.Solver.optimal_makespan instance) else None in
     let rows =
@@ -136,10 +143,141 @@ let compare_cmd =
          rows);
     Printf.printf "certified lower bound: %d\n" lb;
     Option.iter (Printf.printf "exact optimum: %d\n") opt
+    end
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all algorithms on an instance.")
-    Term.(const run $ instance_arg $ exact)
+    Term.(const run $ instance_arg $ exact $ json)
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let family =
+    Arg.(value & opt string "uniform"
+         & info [ "f"; "family" ] ~docv:"FAMILY"
+             ~doc:"Generator family: uniform, heavy-tailed, balanced.")
+  in
+  let m = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Number of processors.") in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Jobs per processor.") in
+  let granularity =
+    Arg.(value & opt int 10 & info [ "granularity" ] ~doc:"Requirement grid 1/g.")
+  in
+  let seeds =
+    Arg.(value & opt (pair ~sep:'-' int int) (1, 50)
+         & info [ "seeds" ] ~docv:"LO-HI"
+             ~doc:"Inclusive seed range; one instance per seed.")
+  in
+  let algos =
+    Arg.(value & opt_all string [ "greedy-balance" ]
+         & info [ "a"; "algorithm" ] ~docv:"ALGO"
+             ~doc:"Algorithm to evaluate (repeatable). Available: $(docv) in the compare command's list.")
+  in
+  let baseline =
+    Arg.(value & opt string "exact"
+         & info [ "baseline" ]
+             ~doc:"Denominator of the ratio: exact (fuel-metered optimum) or lower-bound.")
+  in
+  let fuel =
+    Arg.(value & opt int 2_000_000
+         & info [ "fuel" ]
+             ~doc:"Per-solve work budget (solver ticks); 0 disables metering. \
+                   Exhausted budgets are recorded as timeout outcomes.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"K"
+             ~doc:"Domain-pool size; 1 runs sequentially. Results are identical at any size.")
+  in
+  let out =
+    Arg.(value & opt string "data"
+         & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for JSONL + summary.")
+  in
+  let run family m n granularity (seed_lo, seed_hi) algos baseline fuel domains out =
+    let fam =
+      match Crs_campaign.Spec.family_of_string family with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "error: unknown family %s\n" family;
+        exit 1
+    in
+    let bl =
+      match Crs_campaign.Spec.baseline_of_string baseline with
+      | Some b -> b
+      | None ->
+        Printf.eprintf "error: unknown baseline %s (exact | lower-bound)\n" baseline;
+        exit 1
+    in
+    List.iter
+      (fun a ->
+        if not (List.mem a Crs_campaign.Runner.algorithm_names) then begin
+          Printf.eprintf "error: unknown algorithm %s; available: %s\n" a
+            (String.concat ", " Crs_campaign.Runner.algorithm_names);
+          exit 1
+        end)
+      algos;
+    let spec =
+      {
+        Crs_campaign.Spec.family = fam;
+        m;
+        n;
+        granularity;
+        seed_lo;
+        seed_hi;
+        algorithms = algos;
+        baseline = bl;
+        fuel = (if fuel = 0 then None else Some fuel);
+      }
+    in
+    (match Crs_campaign.Spec.validate spec with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "error: invalid campaign: %s\n" msg;
+      exit 1);
+    Printf.printf "campaign: %s\n" (Crs_campaign.Spec.describe spec);
+    Printf.printf "items: %d on %d domain%s\n%!"
+      (Array.length (Crs_campaign.Spec.expand spec))
+      (max 1 domains)
+      (if domains > 1 then "s" else "");
+    let t0 = Unix.gettimeofday () in
+    let records = Crs_campaign.Runner.run ~domains spec in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let summary = Crs_campaign.Report.summarize records in
+    let jsonl_path = Filename.concat out "campaign.jsonl" in
+    let summary_path = Filename.concat out "campaign-summary.json" in
+    Crs_campaign.Report.write_jsonl jsonl_path records;
+    Crs_campaign.Report.write_summary summary_path summary;
+    (* Retain the worst-case instance for replay with solve/compare. *)
+    (match summary.Crs_campaign.Report.worst with
+    | Some w -> (
+      match w.Crs_campaign.Report.seed with
+      | Some seed ->
+        let worst_path = Filename.concat out "campaign-worst.instance" in
+        Instance.save worst_path (Crs_campaign.Spec.instance spec ~seed);
+        Printf.printf "worst instance (seed %d) retained at %s\n" seed worst_path
+      | None -> ())
+    | None -> ());
+    print_string (Crs_campaign.Report.render_summary summary);
+    Printf.printf "wall %.3f s (%.1f items/s)\nwrote %s and %s\n" elapsed
+      (float_of_int (Array.length records) /. Float.max elapsed 1e-9)
+      jsonl_path summary_path
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a parallel batch-evaluation campaign over random instances."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Expands a (family, seed range, algorithm list) spec into \
+              independent items, evaluates them on a pool of OCaml domains, \
+              and writes per-item JSONL records plus an aggregate summary \
+              under the output directory. Per-item seeding is deterministic \
+              and timeouts are fuel-based, so the result payload is \
+              byte-identical at any pool size.";
+         ])
+    Term.(
+      const run $ family $ m $ n $ granularity $ seeds $ algos $ baseline $ fuel
+      $ domains $ out)
 
 (* ---- render / graph ---- *)
 
@@ -441,8 +579,9 @@ let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
   Cmd.group (Cmd.info "crsched" ~version:"1.0.0" ~doc)
     [
-      gen_cmd; solve_cmd; compare_cmd; render_cmd; graph_cmd; normalize_cmd;
-      reduce_cmd; simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd;
+      gen_cmd; solve_cmd; compare_cmd; campaign_cmd; render_cmd; graph_cmd;
+      normalize_cmd; reduce_cmd; simulate_cmd; verify_cmd; bounds_cmd;
+      export_cmd; gallery_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,1 +1,1 @@
-lib/algorithms/opt_two.ml: Array Crs_core Crs_num Instance Job List Schedule
+lib/algorithms/opt_two.ml: Array Crs_core Crs_num Crs_util Instance Job List Schedule

@@ -20,6 +20,7 @@ let makespan ?(node_limit = 2_000_000) instance =
   let visited = ref 0 in
   let memo : (int list * Q.t list, int) Hashtbl.t = Hashtbl.create 4096 in
   let rec dfs t (j : int array) (v : Q.t array) =
+    Crs_util.Fuel.tick ();
     incr visited;
     if !visited > node_limit then failwith "Brute_force: node limit exceeded";
     let actives = List.filter (fun i -> j.(i) < n i) (Crs_util.Misc.range m) in

@@ -108,6 +108,7 @@ let solve ?(prune = true) instance =
           (fun node ->
             List.iter
               (fun (cfg, shares) ->
+                Crs_util.Fuel.tick ();
                 incr generated;
                 if not (Hashtbl.mem seen cfg) && not (Hashtbl.mem next cfg) then
                   Hashtbl.replace next cfg { config = cfg; parent = Some node; shares })

@@ -1,0 +1,1 @@
+lib/campaign/pool.ml: Array Condition Domain Fun Mutex Queue

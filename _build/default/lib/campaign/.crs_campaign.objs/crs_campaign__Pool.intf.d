@@ -1,0 +1,1 @@
+lib/campaign/pool.mli:

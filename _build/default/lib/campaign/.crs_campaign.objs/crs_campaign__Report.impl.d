@@ -1,0 +1,1 @@
+lib/campaign/report.ml: Array Buffer Char Digest Filename List Option Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+lib/campaign/runner.ml: Array Crs_algorithms Crs_core Crs_util Digest Execution Instance List Policy Pool Printexc Printf Report Schedule Spec Stdlib Unix

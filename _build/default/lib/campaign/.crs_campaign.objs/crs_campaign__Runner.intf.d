@@ -1,0 +1,1 @@
+lib/campaign/runner.mli: Crs_core Report Spec

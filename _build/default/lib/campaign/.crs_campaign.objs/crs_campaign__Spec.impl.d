@@ -1,0 +1,1 @@
+lib/campaign/spec.ml: Array Crs_generators Printf Random String

@@ -1,0 +1,1 @@
+lib/campaign/spec.mli: Crs_core

@@ -1,0 +1,112 @@
+(* Fixed-size domain pool with a lock-protected task queue.
+
+   Modelled on the schedulr/micropools executors from the related EBSL
+   work, but dependency-free: Domain + Mutex + Condition from the OCaml 5
+   stdlib are all it needs. Workers block on [work_available] until a
+   task arrives or shutdown is requested; [await_all] blocks on
+   [all_done] until every submitted task has finished. *)
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  all_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* submitted but not yet finished *)
+  mutable stopping : bool;
+  mutable failed : exn option;  (* first task exception, if any *)
+  mutable workers : unit Domain.t array;
+}
+
+let size t = Array.length t.workers
+
+let worker pool =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    if Queue.is_empty pool.queue then begin
+      (* stopping and drained: exit cleanly *)
+      Mutex.unlock pool.mutex;
+      continue := false
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      let err = (try task (); None with e -> Some e) in
+      Mutex.lock pool.mutex;
+      (match err with
+      | Some e when pool.failed = None -> pool.failed <- Some e
+      | _ -> ());
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.all_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      all_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      stopping = false;
+      failed = None;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  if pool.stopping then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  pool.pending <- pool.pending + 1;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.mutex
+
+let await_all pool =
+  Mutex.lock pool.mutex;
+  while pool.pending > 0 do
+    Condition.wait pool.all_done pool.mutex
+  done;
+  let failure = pool.failed in
+  pool.failed <- None;
+  Mutex.unlock pool.mutex;
+  failure
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if not pool.stopping then begin
+    pool.stopping <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers
+  end
+  else Mutex.unlock pool.mutex
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map ~domains f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    with_pool ~domains (fun pool ->
+        (* Distinct indices per task: no write ever races. *)
+        Array.iteri
+          (fun i x -> submit pool (fun () -> results.(i) <- Some (f x)))
+          input;
+        match await_all pool with None -> () | Some e -> raise e);
+    Array.map (function Some r -> r | None -> assert false) results
+  end

@@ -1,0 +1,35 @@
+(** Fixed-size OCaml 5 domain pool with a lock-protected task queue.
+
+    Dependency-free (Domain + Mutex + Condition). Tasks are [unit ->
+    unit] thunks; a task that raises does not kill its worker — the first
+    exception is recorded and reported by {!await_all}, and the remaining
+    tasks still run. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (>= 1).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. Tasks may themselves submit further tasks.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await_all : t -> exn option
+(** Block until every submitted task has finished. Returns the first
+    exception any task raised ([None] when all succeeded) and clears it,
+    so the pool can be reused for another batch. *)
+
+val shutdown : t -> unit
+(** Drain the queue, join every worker. Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} — even on exceptions. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map: [map ~domains f a] equals
+    [Array.map f a] element-for-element, whatever the pool size.
+    Re-raises the first task exception after all tasks settle. *)

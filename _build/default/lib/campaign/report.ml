@@ -1,0 +1,211 @@
+(* Structured campaign results: per-item JSONL records and an aggregate
+   summary. The JSON encoder is hand-rolled (stable key order, minimal
+   escaping) so the payload of a record is byte-stable: two runs of the
+   same spec produce identical payload lines whatever the pool size.
+   Timing fields (wall_ns) are the only nondeterministic part and are
+   excluded from [payload] and the determinism digest. *)
+
+type outcome = Done | Timeout | Error of string
+
+let outcome_label = function
+  | Done -> "done"
+  | Timeout -> "timeout"
+  | Error _ -> "error"
+
+type record = {
+  id : int;
+  family : string;
+  m : int;
+  n : int;
+  granularity : int option;
+  seed : int option;
+  digest : string;
+  algorithm : string;
+  outcome : outcome;
+  makespan : int option;
+  baseline : string;
+  optimum : int option;
+  ratio : float option;
+  wall_ns : int;
+}
+
+(* ---- JSON encoding ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jint_opt = function None -> "null" | Some v -> string_of_int v
+
+(* Fixed-point, locale-free float rendering: bit-stable across runs. *)
+let jfloat f = Printf.sprintf "%.6f" f
+let jfloat_opt = function None -> "null" | Some v -> jfloat v
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let fields ~timing r =
+  [
+    ("id", string_of_int r.id);
+    ("family", jstr r.family);
+    ("m", string_of_int r.m);
+    ("n", string_of_int r.n);
+    ("granularity", jint_opt r.granularity);
+    ("seed", jint_opt r.seed);
+    ("digest", jstr r.digest);
+    ("algorithm", jstr r.algorithm);
+    ("outcome", jstr (outcome_label r.outcome));
+    ("detail", jstr (match r.outcome with Error msg -> msg | _ -> ""));
+    ("makespan", jint_opt r.makespan);
+    ("baseline", jstr r.baseline);
+    ("optimum", jint_opt r.optimum);
+    ("ratio", jfloat_opt r.ratio);
+  ]
+  @ if timing then [ ("wall_ns", string_of_int r.wall_ns) ] else []
+
+let to_json r = obj (fields ~timing:true r)
+let payload r = obj (fields ~timing:false r)
+
+let jsonl records =
+  String.concat "" (List.map (fun r -> to_json r ^ "\n") (Array.to_list records))
+
+let payload_digest records =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" (List.map payload (Array.to_list records))))
+
+(* ---- aggregate summary ---- *)
+
+type summary = {
+  items : int;
+  completed : int;
+  timeouts : int;
+  errors : int;
+  mean_ratio : float option;
+  worst : record option;  (* highest ratio among completed items *)
+  histogram : (float * int) array;  (* bucket lower edge (width 0.1) -> count *)
+  total_wall_ns : int;
+  digest : string;  (* payload digest: determinism fingerprint *)
+}
+
+let histogram_buckets = 11 (* [1.0,1.1) .. [1.9,2.0), then >= 2.0 *)
+
+let summarize records =
+  let completed = ref 0 and timeouts = ref 0 and errors = ref 0 in
+  let ratio_sum = ref 0.0 and ratio_count = ref 0 in
+  let worst = ref None in
+  let hist = Array.make histogram_buckets 0 in
+  let total_wall = ref 0 in
+  Array.iter
+    (fun r ->
+      total_wall := !total_wall + r.wall_ns;
+      (match r.outcome with
+      | Done -> incr completed
+      | Timeout -> incr timeouts
+      | Error _ -> incr errors);
+      match r.ratio with
+      | None -> ()
+      | Some q ->
+        ratio_sum := !ratio_sum +. q;
+        incr ratio_count;
+        let bucket =
+          if q >= 2.0 then histogram_buckets - 1
+          else max 0 (min (histogram_buckets - 2) (int_of_float ((q -. 1.0) /. 0.1)))
+        in
+        hist.(bucket) <- hist.(bucket) + 1;
+        (match !worst with
+        | Some w when (match w.ratio with Some wq -> wq >= q | None -> false) -> ()
+        | _ -> worst := Some r))
+    records;
+  {
+    items = Array.length records;
+    completed = !completed;
+    timeouts = !timeouts;
+    errors = !errors;
+    mean_ratio =
+      (if !ratio_count = 0 then None
+       else Some (!ratio_sum /. float_of_int !ratio_count));
+    worst = !worst;
+    histogram =
+      Array.init histogram_buckets (fun i -> (1.0 +. (0.1 *. float_of_int i), hist.(i)));
+    total_wall_ns = !total_wall;
+    digest = payload_digest records;
+  }
+
+let summary_to_json s =
+  obj
+    [
+      ("items", string_of_int s.items);
+      ("completed", string_of_int s.completed);
+      ("timeouts", string_of_int s.timeouts);
+      ("errors", string_of_int s.errors);
+      ("mean_ratio", jfloat_opt s.mean_ratio);
+      ( "worst",
+        match s.worst with None -> "null" | Some r -> payload r );
+      ( "histogram",
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun (lo, c) ->
+                 obj [ ("ratio_ge", jfloat lo); ("count", string_of_int c) ])
+               (Array.to_list s.histogram))
+        ^ "]" );
+      ("total_wall_ns", string_of_int s.total_wall_ns);
+      ("payload_digest", jstr s.digest);
+    ]
+
+let render_summary s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "items %d: %d done, %d timeout, %d error\n" s.items
+       s.completed s.timeouts s.errors);
+  (match s.mean_ratio with
+  | Some q -> Buffer.add_string buf (Printf.sprintf "mean ratio %.4f\n" q)
+  | None -> ());
+  (match s.worst with
+  | Some r ->
+    Buffer.add_string buf
+      (Printf.sprintf "worst ratio %.4f (%s seed %s: makespan %s vs %s %s)\n"
+         (Option.value ~default:0.0 r.ratio)
+         r.algorithm
+         (match r.seed with Some v -> string_of_int v | None -> "-")
+         (match r.makespan with Some v -> string_of_int v | None -> "-")
+         r.baseline
+         (match r.optimum with Some v -> string_of_int v | None -> "-"))
+  | None -> ());
+  let shown = ref false in
+  Array.iter
+    (fun (lo, c) ->
+      if c > 0 then begin
+        shown := true;
+        Buffer.add_string buf
+          (Printf.sprintf "  ratio >= %.1f  %5d  %s\n" lo c (String.make (min c 60) '#'))
+      end)
+    s.histogram;
+  if not !shown then Buffer.add_string buf "  (no ratios recorded)\n";
+  Buffer.add_string buf (Printf.sprintf "payload digest %s\n" s.digest);
+  Buffer.contents buf
+
+(* ---- files ---- *)
+
+let write_file path content =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
+
+let write_jsonl path records = write_file path (jsonl records)
+let write_summary path s = write_file path (summary_to_json s ^ "\n")

@@ -1,0 +1,127 @@
+open Crs_core
+
+(* The algorithm registry shared by the campaign runner and the crsched
+   CLI (both `campaign` and `compare` dispatch through it, so the two
+   paths agree on names and semantics). *)
+let algorithms : (string * (Instance.t -> Schedule.t)) list =
+  [
+    ("greedy-balance", Crs_algorithms.Greedy_balance.schedule);
+    ("round-robin", Crs_algorithms.Round_robin.schedule);
+    ("uniform", Policy.run Crs_algorithms.Heuristics.uniform);
+    ("proportional", Policy.run Crs_algorithms.Heuristics.proportional);
+    ("staircase", Policy.run Crs_algorithms.Heuristics.staircase);
+    ( "fewest-remaining-first",
+      Policy.run Crs_algorithms.Heuristics.fewest_remaining_first );
+    ( "largest-requirement-first",
+      Policy.run Crs_algorithms.Heuristics.largest_requirement_first );
+    ( "smallest-requirement-first",
+      Policy.run Crs_algorithms.Heuristics.smallest_requirement_first );
+    ("optimal", Crs_algorithms.Solver.optimal_schedule);
+  ]
+
+let algorithm_names = List.map fst algorithms
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type 'a metered = Value of 'a | Ran_out | Raised of string
+
+let metered fuel f =
+  try Value (Crs_util.Fuel.with_fuel fuel f) with
+  | Crs_util.Fuel.Out_of_fuel -> Ran_out
+  | e -> Raised (Printexc.to_string e)
+
+(* Evaluate one algorithm on one instance. Each phase (algorithm, then
+   baseline) gets its own fuel budget; running out in either records a
+   Timeout instead of hanging the campaign, and any other exception is
+   captured so one poisoned instance never kills the run. *)
+let evaluate ~fuel ~baseline ~algorithm instance =
+  let makespan_result =
+    match List.assoc_opt algorithm algorithms with
+    | None -> Raised (Printf.sprintf "unknown algorithm %s" algorithm)
+    | Some algo ->
+      metered fuel (fun () ->
+          Execution.makespan (Execution.run_exn instance (algo instance)))
+  in
+  let baseline_result =
+    match makespan_result with
+    | Ran_out | Raised _ -> Value 0 (* unused *)
+    | Value _ ->
+      metered fuel (fun () ->
+          match baseline with
+          | Spec.Exact -> Crs_algorithms.Solver.optimal_makespan instance
+          | Spec.Lower_bound -> Crs_algorithms.Solver.certified_lower_bound instance)
+  in
+  let outcome, makespan, optimum =
+    match (makespan_result, baseline_result) with
+    | Ran_out, _ -> (Report.Timeout, None, None)
+    | Raised msg, _ -> (Report.Error msg, None, None)
+    | Value ms, Value opt -> (Report.Done, Some ms, Some opt)
+    | Value ms, Ran_out -> (Report.Timeout, Some ms, None)
+    | Value ms, Raised msg -> (Report.Error msg, Some ms, None)
+  in
+  let ratio =
+    match (makespan, optimum) with
+    | Some ms, Some opt when opt > 0 -> Some (float_of_int ms /. float_of_int opt)
+    | _ -> None
+  in
+  (outcome, makespan, optimum, ratio)
+
+let run_item spec (item : Spec.item) =
+  let t0 = now_ns () in
+  let instance = Spec.instance spec ~seed:item.seed in
+  let digest = Digest.to_hex (Digest.string (Instance.to_string instance)) in
+  let outcome, makespan, optimum, ratio =
+    evaluate ~fuel:spec.Spec.fuel ~baseline:spec.Spec.baseline
+      ~algorithm:item.algorithm instance
+  in
+  {
+    Report.id = item.id;
+    family = Spec.family_to_string spec.Spec.family;
+    m = spec.Spec.m;
+    n = spec.Spec.n;
+    granularity = Some spec.Spec.granularity;
+    seed = Some item.seed;
+    digest;
+    algorithm = item.algorithm;
+    outcome;
+    makespan;
+    baseline = Spec.baseline_to_string spec.Spec.baseline;
+    optimum;
+    ratio;
+    wall_ns = now_ns () - t0;
+  }
+
+let run ?(domains = 1) spec =
+  match Spec.validate spec with
+  | Stdlib.Error msg -> invalid_arg ("Runner.run: " ^ msg)
+  | Ok spec ->
+    let items = Spec.expand spec in
+    if domains <= 1 then Array.map (run_item spec) items
+    else Pool.map ~domains (run_item spec) items
+
+let compare_records ?(names = algorithm_names) ?(baseline = Spec.Exact) ?fuel
+    ~family instance =
+  let digest = Digest.to_hex (Digest.string (Instance.to_string instance)) in
+  List.mapi
+    (fun id name ->
+      let t0 = now_ns () in
+      let outcome, makespan, optimum, ratio =
+        evaluate ~fuel ~baseline ~algorithm:name instance
+      in
+      {
+        Report.id;
+        family;
+        m = Instance.m instance;
+        n = Instance.n_max instance;
+        granularity = None;
+        seed = None;
+        digest;
+        algorithm = name;
+        outcome;
+        makespan;
+        baseline = Spec.baseline_to_string baseline;
+        optimum;
+        ratio;
+        wall_ns = now_ns () - t0;
+      })
+    names

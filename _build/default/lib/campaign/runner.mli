@@ -1,0 +1,37 @@
+(** Campaign execution: expand a {!Spec.t} into items and evaluate them,
+    sequentially or on a {!Pool} of domains.
+
+    Determinism contract: item results (minus timing) depend only on the
+    spec — instances are regenerated from their seed inside the item,
+    timeouts are fuel-based (work-metered, not wall-clock), and items
+    share no mutable state — so [run ~domains:1] and [run ~domains:k]
+    produce identical {!Report.payload}s. *)
+
+val algorithms : (string * (Crs_core.Instance.t -> Crs_core.Schedule.t)) list
+(** Name → algorithm registry shared with the crsched CLI. *)
+
+val algorithm_names : string list
+
+val run_item : Spec.t -> Spec.item -> Report.record
+(** Evaluate one item: regenerate the instance from its seed, run the
+    algorithm and then the baseline (each under the spec's fuel budget),
+    capture [Out_of_fuel] as [Timeout] and any other exception as
+    [Error]. Never raises. *)
+
+val run : ?domains:int -> Spec.t -> Report.record array
+(** Run the whole campaign; records are in item order regardless of the
+    pool size. [domains <= 1] (default) runs sequentially in the calling
+    domain; larger values use {!Pool.map}.
+    @raise Invalid_argument when {!Spec.validate} rejects the spec. *)
+
+val compare_records :
+  ?names:string list ->
+  ?baseline:Spec.baseline ->
+  ?fuel:int ->
+  family:string ->
+  Crs_core.Instance.t ->
+  Report.record list
+(** Evaluate the named algorithms (default: all) on one concrete
+    instance, yielding campaign-schema records — the backend of
+    [crsched compare --json]. [family] labels the records (e.g.
+    ["file"]). *)

@@ -1,0 +1,93 @@
+type family = Uniform | Heavy_tailed | Balanced
+
+let family_to_string = function
+  | Uniform -> "uniform"
+  | Heavy_tailed -> "heavy-tailed"
+  | Balanced -> "balanced"
+
+let family_of_string = function
+  | "uniform" -> Some Uniform
+  | "heavy-tailed" -> Some Heavy_tailed
+  | "balanced" -> Some Balanced
+  | _ -> None
+
+type baseline = Exact | Lower_bound
+
+let baseline_to_string = function Exact -> "exact" | Lower_bound -> "lower-bound"
+
+let baseline_of_string = function
+  | "exact" -> Some Exact
+  | "lower-bound" -> Some Lower_bound
+  | _ -> None
+
+type t = {
+  family : family;
+  m : int;
+  n : int;
+  granularity : int;
+  seed_lo : int;
+  seed_hi : int;
+  algorithms : string list;
+  baseline : baseline;
+  fuel : int option;
+}
+
+let default =
+  {
+    family = Uniform;
+    m = 3;
+    n = 3;
+    granularity = 10;
+    seed_lo = 1;
+    seed_hi = 50;
+    algorithms = [ "greedy-balance" ];
+    baseline = Exact;
+    fuel = Some 2_000_000;
+  }
+
+let validate spec =
+  if spec.m < 1 then Error "m must be at least 1"
+  else if spec.n < 0 then Error "n must be non-negative"
+  else if spec.granularity < 1 then Error "granularity must be at least 1"
+  else if spec.algorithms = [] then Error "need at least one algorithm"
+  else if
+    match spec.fuel with Some b -> b < 1 | None -> false
+  then Error "fuel must be positive"
+  else Ok spec
+
+type item = { id : int; seed : int; algorithm : string }
+
+let seed_count spec = max 0 (spec.seed_hi - spec.seed_lo + 1)
+
+let expand spec =
+  let seeds = seed_count spec in
+  let algos = Array.of_list spec.algorithms in
+  let k = Array.length algos in
+  Array.init (seeds * k) (fun id ->
+      { id; seed = spec.seed_lo + (id / k); algorithm = algos.(id mod k) })
+
+let instance spec ~seed =
+  (* Same seeding discipline as `crsched gen`: the seed alone determines
+     the instance, independent of which item or domain evaluates it. *)
+  let st = Random.State.make [| seed |] in
+  let gspec =
+    {
+      Crs_generators.Random_gen.default_spec with
+      m = spec.m;
+      jobs_min = spec.n;
+      jobs_max = spec.n;
+      granularity = spec.granularity;
+    }
+  in
+  match spec.family with
+  | Uniform -> Crs_generators.Random_gen.instance ~spec:gspec st
+  | Heavy_tailed -> Crs_generators.Random_gen.heavy_tailed ~spec:gspec st
+  | Balanced -> Crs_generators.Random_gen.balanced_load ~spec:gspec st
+
+let describe spec =
+  Printf.sprintf "%s m=%d n=%d g=%d seeds=%d..%d algos=[%s] baseline=%s fuel=%s"
+    (family_to_string spec.family)
+    spec.m spec.n spec.granularity spec.seed_lo spec.seed_hi
+    (String.concat "," spec.algorithms)
+    (baseline_to_string spec.baseline)
+    (match spec.fuel with None -> "none" | Some b -> string_of_int b)

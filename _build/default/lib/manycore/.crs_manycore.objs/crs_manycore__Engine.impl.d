@@ -1,1 +1,1 @@
-lib/manycore/engine.ml: Array Float List Policy Printf Task
+lib/manycore/engine.ml: Array Float List Policy Printf String Task

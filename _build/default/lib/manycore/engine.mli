@@ -22,4 +22,6 @@ type result = {
 
 val run : ?max_ticks:int -> Policy.t -> Task.t array -> result
 (** One task per core. @raise Failure if [max_ticks] (default 1_000_000)
-    elapse before completion or the policy over-allocates. *)
+    elapse before completion or the policy over-allocates; the message
+    names the policy, the offending tick, and the shares / still-active
+    cores involved, so batch-campaign failure logs are actionable. *)

@@ -1,0 +1,1 @@
+lib/util/fuel.ml: Domain Fun

@@ -1,0 +1,35 @@
+(* Deterministic computation budgets ("fuel").
+
+   A wall-clock timeout would make campaign outcomes depend on machine
+   speed and pool contention; a fuel counter decremented at well-defined
+   points inside the exact solvers makes the Timeout/Done outcome a pure
+   function of the input — the same at any domain-pool size.
+
+   The counter is domain-local (Domain.DLS), so concurrent campaign
+   items never share a budget. *)
+
+exception Out_of_fuel
+
+(* -1 encodes "unlimited": tick is a no-op outside [with_fuel]. *)
+let slot = Domain.DLS.new_key (fun () -> ref (-1))
+
+let tick () =
+  let r = Domain.DLS.get slot in
+  if !r >= 0 then begin
+    if !r = 0 then raise Out_of_fuel;
+    decr r
+  end
+
+let remaining () =
+  let r = !(Domain.DLS.get slot) in
+  if r < 0 then None else Some r
+
+let with_fuel budget f =
+  let r = Domain.DLS.get slot in
+  let saved = !r in
+  (match budget with
+  | None -> r := -1
+  | Some b ->
+    if b < 0 then invalid_arg "Fuel.with_fuel: negative budget";
+    r := b);
+  Fun.protect ~finally:(fun () -> r := saved) f

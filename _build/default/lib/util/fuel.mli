@@ -1,0 +1,24 @@
+(** Deterministic computation budgets ("fuel") for long-running solvers.
+
+    Exponential exact solvers call {!tick} at each unit of work (DFS node,
+    generated configuration). Inside [with_fuel (Some b) f], the [b+1]-th
+    tick raises {!Out_of_fuel}; outside, ticks are free. Because the
+    counter measures work — not wall-clock time — the same input and
+    budget give the same outcome on any machine and at any domain-pool
+    size, which is what makes campaign results reproducible.
+
+    The budget is domain-local: concurrent workers each get their own
+    counter, and nested [with_fuel] calls restore the outer budget. *)
+
+exception Out_of_fuel
+
+val with_fuel : int option -> (unit -> 'a) -> 'a
+(** [with_fuel (Some b) f] runs [f] with at most [b] ticks; [with_fuel
+    None f] runs it unmetered. The previous budget is restored on exit.
+    @raise Invalid_argument on a negative budget. *)
+
+val tick : unit -> unit
+(** Consume one unit. @raise Out_of_fuel when the budget is exhausted. *)
+
+val remaining : unit -> int option
+(** Ticks left under the innermost [with_fuel], [None] when unmetered. *)

@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Array Atomic Crs_campaign Crs_core Helpers List Printf String

@@ -1,1 +1,1 @@
-test/test_cli.ml: Alcotest Filename Fun Helpers In_channel List Out_channel Printf Sys
+test/test_cli.ml: Alcotest Filename Fun Helpers In_channel List Out_channel Printf String Sys

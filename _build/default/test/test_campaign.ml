@@ -1,0 +1,223 @@
+(* Tests for the parallel experiment-campaign subsystem: the domain
+   pool, the runner's timeout/error capture, the JSONL report, and the
+   determinism contract (1 domain and N domains produce identical
+   payloads). The pooled cases double as the tier-1 smoke campaign that
+   exercises the parallel path on every `dune runtest`. *)
+
+module C = Crs_campaign
+
+(* ---- Pool ---- *)
+
+let test_pool_oversubscription () =
+  (* Far more tasks than domains: all run, results keep item order. *)
+  let n = 200 in
+  let input = Array.init n (fun i -> i) in
+  let out = C.Pool.map ~domains:3 (fun i -> (2 * i) + 1) input in
+  Alcotest.(check int) "all results" n (Array.length out);
+  Array.iteri
+    (fun i r -> Alcotest.(check int) "order preserved" ((2 * i) + 1) r)
+    out
+
+let test_pool_empty () =
+  Alcotest.(check int) "empty map" 0 (Array.length (C.Pool.map ~domains:2 (fun x -> x) [||]))
+
+let test_pool_submit_await () =
+  let counter = Atomic.make 0 in
+  C.Pool.with_pool ~domains:2 (fun pool ->
+      for _ = 1 to 50 do
+        C.Pool.submit pool (fun () -> Atomic.incr counter)
+      done;
+      Alcotest.(check bool) "no failure" true (C.Pool.await_all pool = None);
+      Alcotest.(check int) "all tasks ran" 50 (Atomic.get counter);
+      (* The pool is reusable after await_all. *)
+      C.Pool.submit pool (fun () -> Atomic.incr counter);
+      Alcotest.(check bool) "no failure (2nd batch)" true (C.Pool.await_all pool = None);
+      Alcotest.(check int) "second batch ran" 51 (Atomic.get counter))
+
+let test_pool_task_raises () =
+  (* One poisoned task: reported by await_all, the rest still run. *)
+  let ran = Atomic.make 0 in
+  C.Pool.with_pool ~domains:2 (fun pool ->
+      for i = 1 to 20 do
+        C.Pool.submit pool (fun () ->
+            if i = 7 then failwith "poisoned" else Atomic.incr ran)
+      done;
+      match C.Pool.await_all pool with
+      | Some (Failure msg) ->
+        Alcotest.(check string) "failure surfaced" "poisoned" msg;
+        Alcotest.(check int) "others completed" 19 (Atomic.get ran)
+      | _ -> Alcotest.fail "expected the task failure to surface")
+
+let test_pool_shutdown_rejects_submit () =
+  let pool = C.Pool.create ~domains:1 in
+  C.Pool.shutdown pool;
+  C.Pool.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "submit after shutdown rejected" true
+    (try
+       C.Pool.submit pool (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Spec ---- *)
+
+let spec ?(seed_lo = 1) ?(seed_hi = 6) ?(fuel = Some 2_000_000)
+    ?(algorithms = [ "greedy-balance"; "round-robin" ]) () =
+  {
+    C.Spec.family = C.Spec.Uniform;
+    m = 3;
+    n = 3;
+    granularity = 10;
+    seed_lo;
+    seed_hi;
+    algorithms;
+    baseline = C.Spec.Exact;
+    fuel;
+  }
+
+let test_spec_expand () =
+  let items = C.Spec.expand (spec ()) in
+  Alcotest.(check int) "6 seeds x 2 algorithms" 12 (Array.length items);
+  Alcotest.(check int) "ids sequential" 11 items.(11).C.Spec.id;
+  Alcotest.(check int) "seed-major order" 1 items.(1).C.Spec.seed;
+  Alcotest.(check string) "algorithms alternate" "round-robin"
+    items.(1).C.Spec.algorithm
+
+let test_empty_campaign () =
+  (* Inverted seed range: zero items end-to-end. *)
+  let records = C.Runner.run ~domains:2 (spec ~seed_lo:5 ~seed_hi:4 ()) in
+  Alcotest.(check int) "no records" 0 (Array.length records);
+  let s = C.Report.summarize records in
+  Alcotest.(check int) "empty summary" 0 s.C.Report.items;
+  Alcotest.(check bool) "no mean ratio" true (s.C.Report.mean_ratio = None)
+
+let test_spec_instance_deterministic () =
+  let sp = spec () in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Crs_core.Instance.equal
+       (C.Spec.instance sp ~seed:17)
+       (C.Spec.instance sp ~seed:17))
+
+(* ---- Runner outcomes ---- *)
+
+let test_timeout_recorded () =
+  (* Tiny fuel: the exact baseline runs dry, the item records Timeout
+     instead of hanging, and the heuristic makespan is kept. *)
+  let records = C.Runner.run (spec ~seed_hi:1 ~fuel:(Some 3) ()) in
+  Array.iter
+    (fun (r : C.Report.record) ->
+      Alcotest.(check string) "timeout outcome" "timeout"
+        (C.Report.outcome_label r.C.Report.outcome);
+      Alcotest.(check bool) "makespan retained" true (r.C.Report.makespan <> None);
+      Alcotest.(check bool) "optimum absent" true (r.C.Report.optimum = None))
+    records
+
+let test_error_captured () =
+  (* An unknown algorithm is captured as an error record, not an
+     exception out of the campaign. *)
+  let sp = spec ~seed_hi:1 ~algorithms:[ "greedy-balance" ] () in
+  let item = { C.Spec.id = 0; seed = 1; algorithm = "no-such-algorithm" } in
+  let r = C.Runner.run_item sp item in
+  match r.C.Report.outcome with
+  | C.Report.Error msg ->
+    Alcotest.(check bool) "message names the algorithm" true
+      (Helpers.contains ~needle:"no-such-algorithm" msg)
+  | _ -> Alcotest.fail "expected an error outcome"
+
+(* ---- Determinism across pool sizes (and the tier-1 smoke campaign) ---- *)
+
+let test_determinism_across_domains () =
+  let sp = spec ~seed_hi:8 () in
+  let seq = C.Runner.run ~domains:1 sp in
+  let par = C.Runner.run ~domains:2 sp in
+  Alcotest.(check int) "same item count" (Array.length seq) (Array.length par);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check string)
+        (Printf.sprintf "payload %d identical" i)
+        (C.Report.payload r) (C.Report.payload par.(i)))
+    seq;
+  Alcotest.(check string) "payload digests equal" (C.Report.payload_digest seq)
+    (C.Report.payload_digest par)
+
+let test_smoke_campaign_summary () =
+  (* Small pooled sweep: everything completes, ratios are sane, and the
+     summary's worst record is replayable from its seed. *)
+  let sp = spec ~seed_hi:10 () in
+  let records = C.Runner.run ~domains:2 sp in
+  let s = C.Report.summarize records in
+  Alcotest.(check int) "all done" s.C.Report.items s.C.Report.completed;
+  Alcotest.(check int) "no errors" 0 s.C.Report.errors;
+  (match s.C.Report.mean_ratio with
+  | Some q -> Alcotest.(check bool) "mean ratio >= 1" true (q >= 1.0)
+  | None -> Alcotest.fail "expected ratios");
+  match s.C.Report.worst with
+  | Some w ->
+    Alcotest.(check bool) "worst has a seed for replay" true (w.C.Report.seed <> None)
+  | None -> Alcotest.fail "expected a worst record"
+
+(* ---- Report encoding ---- *)
+
+let test_jsonl_shape () =
+  let records = C.Runner.run (spec ~seed_hi:2 ()) in
+  let lines = String.split_on_char '\n' (String.trim (C.Report.jsonl records)) in
+  Alcotest.(check int) "one line per record" (Array.length records)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "object braces" true
+        (String.length line > 2 && line.[0] = '{' && line.[String.length line - 1] = '}');
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " present") true
+            (Helpers.contains ~needle:(Printf.sprintf "\"%s\":" key) line))
+        [ "id"; "family"; "seed"; "digest"; "algorithm"; "outcome"; "makespan";
+          "optimum"; "ratio"; "wall_ns" ])
+    lines
+
+let test_payload_excludes_timing () =
+  let records = C.Runner.run (spec ~seed_hi:1 ()) in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "wall_ns only in full record" true
+        (Helpers.contains ~needle:"wall_ns" (C.Report.to_json r)
+        && not (Helpers.contains ~needle:"wall_ns" (C.Report.payload r))))
+    records
+
+let test_json_escaping () =
+  let r =
+    {
+      C.Report.id = 0; family = "f"; m = 1; n = 1; granularity = None;
+      seed = None; digest = ""; algorithm = "a";
+      outcome = C.Report.Error "a\"b\\c\nd\x01"; makespan = None;
+      baseline = "exact"; optimum = None; ratio = None; wall_ns = 0;
+    }
+  in
+  Alcotest.(check bool) "quotes, backslashes, control chars escaped" true
+    (Helpers.contains ~needle:{|"detail":"a\"b\\c\nd\u0001"|} (C.Report.payload r))
+
+let suite =
+  [
+    Alcotest.test_case "pool: oversubscription, order preserved" `Quick
+      test_pool_oversubscription;
+    Alcotest.test_case "pool: empty input" `Quick test_pool_empty;
+    Alcotest.test_case "pool: submit/await, reusable" `Quick test_pool_submit_await;
+    Alcotest.test_case "pool: a raising task is contained" `Quick
+      test_pool_task_raises;
+    Alcotest.test_case "pool: shutdown rejects submit" `Quick
+      test_pool_shutdown_rejects_submit;
+    Alcotest.test_case "spec: expansion" `Quick test_spec_expand;
+    Alcotest.test_case "spec: empty campaign" `Quick test_empty_campaign;
+    Alcotest.test_case "spec: deterministic instances" `Quick
+      test_spec_instance_deterministic;
+    Alcotest.test_case "runner: fuel exhaustion -> timeout record" `Quick
+      test_timeout_recorded;
+    Alcotest.test_case "runner: errors captured per item" `Quick test_error_captured;
+    Alcotest.test_case "determinism: 1-domain == 2-domain payloads" `Quick
+      test_determinism_across_domains;
+    Alcotest.test_case "smoke campaign on the pool (tier-1)" `Quick
+      test_smoke_campaign_summary;
+    Alcotest.test_case "report: JSONL shape" `Quick test_jsonl_shape;
+    Alcotest.test_case "report: payload excludes timing" `Quick
+      test_payload_excludes_timing;
+    Alcotest.test_case "report: JSON string escaping" `Quick test_json_escaping;
+  ]

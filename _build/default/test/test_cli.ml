@@ -76,6 +76,63 @@ let test_bad_inputs () =
       Alcotest.(check bool) "invalid requirement fails" true (code <> 0);
       Alcotest.(check bool) "helpful message" true (has "error" out))
 
+let test_compare_json () =
+  with_instance_file "1/2 1/2\n1/2\n" (fun path ->
+      let code, out = run_capture (Printf.sprintf "compare %s --exact --json" path) in
+      Alcotest.(check int) "exits 0" 0 code;
+      Alcotest.(check bool) "campaign schema records" true
+        (has "\"algorithm\":\"greedy-balance\"" out
+        && has "\"baseline\":\"exact\"" out
+        && has "\"outcome\":\"done\"" out);
+      (* every line is a JSON object *)
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            Alcotest.(check bool) "json line" true
+              (line.[0] = '{' && line.[String.length line - 1] = '}'))
+        (String.split_on_char '\n' out))
+
+let test_campaign () =
+  let dir = Filename.temp_file "campaign" ".d" in
+  Sys.remove dir;
+  let code, out =
+    run_capture
+      (Printf.sprintf
+         "campaign --seeds 1-6 -a greedy-balance -a round-robin --domains 2 --out %s"
+         (Filename.quote dir))
+  in
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "summary printed" true
+    (has "items 12" out && has "payload digest" out);
+  let jsonl =
+    In_channel.with_open_text (Filename.concat dir "campaign.jsonl")
+      In_channel.input_all
+  in
+  Alcotest.(check int) "12 JSONL records" 12
+    (List.length
+       (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' jsonl)));
+  Alcotest.(check bool) "summary JSON written" true
+    (Sys.file_exists (Filename.concat dir "campaign-summary.json"));
+  Alcotest.(check bool) "worst instance retained" true
+    (Sys.file_exists (Filename.concat dir "campaign-worst.instance"));
+  (* byte-identical payloads at a different pool size *)
+  let dir1 = Filename.temp_file "campaign" ".d" in
+  Sys.remove dir1;
+  let code, out1 =
+    run_capture
+      (Printf.sprintf
+         "campaign --seeds 1-6 -a greedy-balance -a round-robin --domains 1 --out %s"
+         (Filename.quote dir1))
+  in
+  Alcotest.(check int) "sequential run exits 0" 0 code;
+  let digest_of o =
+    List.find_opt
+      (fun l -> Helpers.contains ~needle:"payload digest" l)
+      (String.split_on_char '\n' o)
+  in
+  Alcotest.(check bool) "payload digests match across pool sizes" true
+    (digest_of out <> None && digest_of out = digest_of out1)
+
 let test_simulate () =
   let code, out = run_capture "simulate --cores 4 -w streaming" in
   Alcotest.(check int) "exits 0" 0 code;
@@ -86,6 +143,8 @@ let suite =
   [
     Alcotest.test_case "gen | solve" `Quick test_gen_and_solve;
     Alcotest.test_case "compare --exact" `Quick test_compare_exact;
+    Alcotest.test_case "compare --json (campaign schema)" `Quick test_compare_json;
+    Alcotest.test_case "campaign end-to-end" `Quick test_campaign;
     Alcotest.test_case "reduce --decide" `Quick test_reduce_decide;
     Alcotest.test_case "bounds" `Quick test_bounds;
     Alcotest.test_case "export | verify roundtrip" `Quick test_export_verify_roundtrip;

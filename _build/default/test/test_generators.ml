@@ -131,6 +131,32 @@ let test_gb_family_epsilon_guard () =
        false
      with Invalid_argument _ -> true)
 
+let test_same_seed_same_instance () =
+  (* Reproducibility contract for campaign items: every generator is a
+     pure function of its explicit [Random.State.t] (no self_init, no
+     shared global state), so the same seed gives the same instance —
+     the property the parallel campaign runner relies on. *)
+  let gens =
+    [
+      ("uniform", fun st -> RG.instance st);
+      ("heavy-tailed", fun st -> RG.heavy_tailed st);
+      ("balanced", fun st -> RG.balanced_load st);
+      ("equal-rows", fun st -> RG.equal_rows ~m:3 ~n:4 ~granularity:12 st);
+      ("sized-jobs", fun st -> RG.sized_jobs ~m:2 ~n:3 ~granularity:8 ~max_size:3 st);
+    ]
+  in
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun seed ->
+          let a = gen (Random.State.make [| seed |]) in
+          let b = gen (Random.State.make [| seed |]) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d reproducible" name seed)
+            true (Instance.equal a b))
+        [ 0; 1; 42; 987654321 ])
+    gens
+
 let test_heavy_tailed_mixture () =
   let st = Random.State.make [| 9 |] in
   let spec = { RG.default_spec with m = 6; jobs_min = 8; jobs_max = 8; granularity = 100 } in
@@ -160,4 +186,6 @@ let suite =
     Alcotest.test_case "figure 5 family: unit diagonals" `Quick test_gb_family_diagonals;
     Alcotest.test_case "figure 5 family: epsilon guard" `Quick test_gb_family_epsilon_guard;
     Alcotest.test_case "heavy-tailed mixture" `Quick test_heavy_tailed_mixture;
+    Alcotest.test_case "same seed => same instance (all generators)" `Quick
+      test_same_seed_same_instance;
   ]

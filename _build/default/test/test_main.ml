@@ -13,6 +13,7 @@ let () =
       ("binpack", Test_binpack.suite);
       ("discont", Test_discont.suite);
       ("generators", Test_generators.suite);
+      ("campaign", Test_campaign.suite);
       ("manycore", Test_manycore.suite);
       ("extension", Test_extension.suite);
       ("render", Test_render.suite);

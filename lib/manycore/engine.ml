@@ -39,7 +39,24 @@ let run ?(max_ticks = 1_000_000) (policy : Policy.t) tasks =
   let time = ref 0 in
   while not (finished ()) do
     incr time;
-    if !time > max_ticks then failwith "Engine.run: tick budget exceeded";
+    if !time > max_ticks then begin
+      let active =
+        Array.to_list cores
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter (fun (_, c) -> c.phases <> [])
+      in
+      failwith
+        (Printf.sprintf
+           "Engine.run: policy %s exceeded the tick budget (max_ticks %d); %d of %d \
+            cores still active: %s"
+           policy.name max_ticks (List.length active) n
+           (String.concat ", "
+              (List.map
+                 (fun (i, c) ->
+                   Printf.sprintf "core %d (%d phases, %.3f left in head)" i
+                     (List.length c.phases) c.remaining)
+                 active)))
+    end;
     let t = !time in
     let views =
       Array.mapi
@@ -72,8 +89,19 @@ let run ?(max_ticks = 1_000_000) (policy : Policy.t) tasks =
     in
     let shares = policy.allocate views in
     let total = Array.fold_left ( +. ) 0.0 shares in
-    if total > 1.0 +. 1e-9 then
-      failwith (Printf.sprintf "Engine.run: policy %s over-allocates (%.6f)" policy.name total);
+    if total > 1.0 +. 1e-9 then begin
+      let offending = ref [] in
+      Array.iteri
+        (fun i s ->
+          if s > 0.0 then
+            offending := Printf.sprintf "core %d: %.6f" i s :: !offending)
+        shares;
+      failwith
+        (Printf.sprintf
+           "Engine.run: policy %s over-allocates at tick %d (total %.6f > 1); shares: %s"
+           policy.name t total
+           (String.concat ", " (List.rev !offending)))
+    end;
     let used = Array.make n 0.0 in
     let phases_finished = ref [] in
     Array.iteri
