@@ -13,6 +13,12 @@ module Q = Crs_num.Rational
 open Crs_core
 module A = Crs_generators.Adversarial
 module T = Crs_render.Table
+module R = Crs_algorithms.Registry
+
+(* Name-based dispatch through the solver registry; experiments that
+   exercise a specific implementation detail (pruning flags, tie-break
+   variants) keep their direct module calls. *)
+let solve_by name instance = (R.solve (R.find_exn name) instance).R.makespan
 
 let banner id title claim =
   Printf.printf "\n=== %s: %s ===\npaper: %s\n\n" (String.uppercase_ascii id) title claim
@@ -102,8 +108,8 @@ let exp_t3 () =
         ~spec:{ Crs_generators.Random_gen.default_spec with m = 2; jobs_max = 4 }
         st
     in
-    let rr = Crs_algorithms.Round_robin.makespan instance in
-    let opt = Crs_algorithms.Opt_two.makespan instance in
+    let rr = solve_by R.Names.round_robin instance in
+    let opt = solve_by R.Names.opt_two instance in
     let ratio = Q.of_ints rr opt in
     if Q.(ratio > !worst) then worst := ratio;
     sum := !sum +. Q.to_float ratio
@@ -155,12 +161,9 @@ let exp_f5 () =
     List.map
       (fun (m, blocks) ->
         let instance = A.greedy_balance_family ~m ~blocks () in
-        let gb = Crs_algorithms.Greedy_balance.makespan instance in
+        let gb = solve_by R.Names.greedy_balance instance in
         let pred = A.greedy_balance_family_predicted ~m ~blocks in
-        let stair =
-          Crs_algorithms.Heuristics.makespan_of Crs_algorithms.Heuristics.staircase
-            instance
-        in
+        let stair = solve_by R.Names.staircase instance in
         let lb = Lower_bounds.combined instance in
         [
           Printf.sprintf "%d" m;
@@ -204,10 +207,10 @@ let exp_t5 () =
         let ms = Crs_algorithms.Opt_two.makespan instance in
         let dt_arr = Unix.gettimeofday () -. t0 in
         let t0 = Unix.gettimeofday () in
-        let ms_pq = Crs_algorithms.Opt_two_pq.makespan instance in
+        let pq = Crs_algorithms.Opt_two_pq.run instance in
         let dt_pq = Unix.gettimeofday () -. t0 in
-        assert (ms = ms_pq);
-        let expanded = Crs_algorithms.Opt_two_pq.states_expanded instance in
+        assert (ms = pq.Crs_algorithms.Opt_two_pq.makespan);
+        let expanded = pq.Crs_algorithms.Opt_two_pq.expanded in
         [
           string_of_int n;
           string_of_int ms;
@@ -709,7 +712,11 @@ let exp_campaign () =
       granularity = 10;
       seed_lo = 1;
       seed_hi = 60;
-      algorithms = [ "greedy-balance"; "round-robin" ];
+      algorithms =
+        [
+          Crs_algorithms.Registry.Names.greedy_balance;
+          Crs_algorithms.Registry.Names.round_robin;
+        ];
       baseline = C.Spec.Exact;
       fuel = Some 5_000_000;
     }
@@ -761,6 +768,71 @@ let exp_campaign () =
   Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
       Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_campaign.json\n"
+
+(* ---------- registry: dispatch overhead ---------- *)
+
+let exp_registry () =
+  banner "registry" "solver-registry dispatch overhead"
+    "capability-checked registry dispatch costs <= 5% over calling Opt_two directly";
+  let solver = R.find_exn R.Names.opt_two in
+  (* min over repetitions: robust against scheduler noise. *)
+  let time_min ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let sizes = [ 50; 100; 200; 400 ] in
+  let reps = 7 in
+  let total_direct = ref 0.0 and total_via = ref 0.0 in
+  let rows =
+    List.map
+      (fun n ->
+        let instance = A.round_robin_family ~n in
+        (* Both sides do the full solve including witness replay, so the
+           measured gap is exactly the registry layer: the find +
+           capability check + counters/fuel bookkeeping. *)
+        ignore (Crs_algorithms.Opt_two.solve instance) (* warm-up *);
+        let direct =
+          time_min ~reps (fun () ->
+              (Crs_algorithms.Opt_two.solve instance).Crs_algorithms.Opt_two.makespan)
+        in
+        let via = time_min ~reps (fun () -> (R.solve solver instance).R.makespan) in
+        assert (
+          (Crs_algorithms.Opt_two.solve instance).Crs_algorithms.Opt_two.makespan
+          = (R.solve solver instance).R.makespan);
+        total_direct := !total_direct +. direct;
+        total_via := !total_via +. via;
+        [
+          string_of_int n;
+          Printf.sprintf "%.3f" (direct *. 1000.);
+          Printf.sprintf "%.3f" (via *. 1000.);
+          Printf.sprintf "%+.2f%%" ((via -. direct) /. direct *. 100.);
+        ])
+      sizes
+  in
+  print_string
+    (T.render ~header:[ "n (Fig. 3 family)"; "direct ms"; "registry ms"; "overhead" ] rows);
+  let overhead_pct = (!total_via -. !total_direct) /. !total_direct *. 100. in
+  let budget_pct = 5.0 in
+  Printf.printf "aggregate dispatch overhead %+.2f%% (budget %.1f%%)\n" overhead_pct
+    budget_pct;
+  let json =
+    Printf.sprintf
+      "{\"sizes\":[%s],\"reps\":%d,\"direct_s\":%.6f,\"registry_s\":%.6f,\
+       \"overhead_pct\":%.4f,\"budget_pct\":%.1f,\"within_budget\":%b}\n"
+      (String.concat "," (List.map string_of_int sizes))
+      reps !total_direct !total_via overhead_pct budget_pct
+      (overhead_pct <= budget_pct)
+  in
+  Out_channel.with_open_text "BENCH_registry.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_registry.json\n";
+  assert (overhead_pct <= budget_pct)
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -828,7 +900,7 @@ let experiments =
     ("t3", exp_t3); ("t5", exp_t5); ("t6", exp_t6); ("t7", exp_t7);
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
-    ("campaign", exp_campaign);
+    ("campaign", exp_campaign); ("registry", exp_registry);
   ]
 
 let () =

@@ -20,20 +20,83 @@ let instance_arg =
   let doc = "Instance file (one processor per line; '-' for stdin)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc)
 
-(* Shared with the campaign runner so `campaign`, `compare` and the
-   batch subsystem agree on algorithm names and semantics. *)
-let algorithms = Crs_campaign.Runner.algorithms
+(* All algorithm names and dispatch come from the registry, so the CLI,
+   the campaign runner and the benches agree on names and semantics. *)
+module Registry = Crs_algorithms.Registry
 
-let algo_conv = Arg.enum (List.map (fun (n, f) -> (n, (n, f))) algorithms)
+(* Schedule-producing subcommands (solve, render, graph, normalize,
+   export) accept any solver that returns a witness schedule. *)
+let witnessed_solvers = List.filter Registry.witness Registry.all
+
+let algo_conv = Arg.enum (List.map (fun s -> (Registry.name s, s)) witnessed_solvers)
 
 let algo_arg =
   let doc =
-    "Algorithm: " ^ String.concat ", " (List.map fst algorithms) ^ "."
+    "Algorithm: "
+    ^ String.concat ", " (List.map Registry.name witnessed_solvers)
+    ^ " (see `crsched algorithms')."
   in
   Arg.(
     value
-    & opt algo_conv ("greedy-balance", Crs_algorithms.Greedy_balance.schedule)
+    & opt algo_conv (Registry.find_exn Registry.Names.greedy_balance)
     & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+(* Dispatch through the registry with the capability check surfaced as a
+   clean CLI error instead of an exception trace. *)
+let schedule_of solver instance =
+  (match Registry.applicability solver instance with
+  | Ok () -> ()
+  | Error reason ->
+    Printf.eprintf "error: %s\n" reason;
+    exit 1);
+  match (Registry.solve solver instance).Registry.schedule with
+  | Some schedule -> schedule
+  | None -> assert false (* witnessed solvers only *)
+
+(* ---- algorithms ---- *)
+
+let algorithms_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun s ->
+          let r = Registry.requires s in
+          let m_range =
+            match r.Registry.max_m with
+            | Some mx when mx = r.Registry.min_m -> string_of_int mx
+            | Some mx -> Printf.sprintf "%d-%d" r.Registry.min_m mx
+            | None -> Printf.sprintf "%d+" r.Registry.min_m
+          in
+          [
+            Registry.name s;
+            Registry.kind_to_string (Registry.kind s);
+            m_range;
+            (if r.Registry.unit_size_only then "unit" else "any");
+            (if r.Registry.fuel_aware then "yes" else "no");
+            (if Registry.witness s then "yes" else "no");
+            Registry.about s;
+          ])
+        Registry.all
+    in
+    print_string
+      (T_render.render
+         ~header:[ "name"; "kind"; "m"; "sizes"; "fuel"; "witness"; "about" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "algorithms"
+       ~doc:"List every registered solver with its capability record."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "One row per solver in the registry: canonical name, kind \
+              (exact/approx/heuristic/online), accepted processor counts, \
+              accepted job sizes, whether fuel budgets meter it, and whether \
+              it produces a witness schedule (only witnessed solvers can be \
+              used with solve/render/export).";
+         ])
+    Term.(const run $ const ())
 
 (* ---- gen ---- *)
 
@@ -81,11 +144,11 @@ let solve_cmd =
   let gantt =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Render the schedule as a Gantt chart.")
   in
-  let run path (name, algo) gantt =
+  let run path solver gantt =
     let instance = read_instance path in
-    let schedule = algo instance in
+    let schedule = schedule_of solver instance in
     let trace = Execution.run_exn instance schedule in
-    Printf.printf "%s makespan: %d\n" name (Execution.makespan trace);
+    Printf.printf "%s makespan: %d\n" (Registry.name solver) (Execution.makespan trace);
     Printf.printf "%s\n" (Crs_render.Gantt.summary trace);
     if gantt then print_string (Crs_render.Gantt.render trace)
   in
@@ -106,11 +169,18 @@ let compare_cmd =
   in
   let run path exact json =
     let instance = read_instance path in
+    (* Exact solvers join the comparison only under --exact; whatever the
+       registry rejects for this instance is skipped (table) or recorded
+       as not_applicable (JSONL), never a crash. *)
+    let names =
+      List.filter
+        (fun n ->
+          match Registry.kind (Registry.find_exn n) with
+          | Registry.Exact -> exact
+          | _ -> true)
+        Crs_campaign.Runner.default_names
+    in
     if json then begin
-      let names =
-        List.filter (fun n -> n <> "optimal" || exact)
-          Crs_campaign.Runner.algorithm_names
-      in
       let baseline =
         if exact then Crs_campaign.Spec.Exact else Crs_campaign.Spec.Lower_bound
       in
@@ -122,25 +192,42 @@ let compare_cmd =
     else begin
     let lb = Crs_algorithms.Solver.certified_lower_bound instance in
     let opt = if exact then Some (Crs_algorithms.Solver.optimal_makespan instance) else None in
+    let skipped = ref [] in
     let rows =
-      List.map
-        (fun (name, algo) ->
-          let trace = Execution.run_exn instance (algo instance) in
-          let ms = Execution.makespan trace in
-          let base = match opt with Some o -> o | None -> lb in
-          [
-            name;
-            string_of_int ms;
-            Printf.sprintf "%.3f" (float_of_int ms /. float_of_int (max 1 base));
-            Q.to_string (Execution.unused_capacity trace);
-          ])
-        (List.filter (fun (n, _) -> n <> "optimal" || exact) algorithms)
+      List.filter_map
+        (fun name ->
+          let solver = Registry.find_exn name in
+          match Registry.applicability solver instance with
+          | Error reason ->
+            skipped := (name, reason) :: !skipped;
+            None
+          | Ok () ->
+            let schedule =
+              match (Registry.solve solver instance).Registry.schedule with
+              | Some s -> s
+              | None -> assert false (* default_names are witnessed *)
+            in
+            let trace = Execution.run_exn instance schedule in
+            let ms = Execution.makespan trace in
+            let base = match opt with Some o -> o | None -> lb in
+            Some
+              [
+                name;
+                string_of_int ms;
+                Printf.sprintf "%.3f" (float_of_int ms /. float_of_int (max 1 base));
+                Q.to_string (Execution.unused_capacity trace);
+              ])
+        names
     in
     let denom = if exact then "ratio(opt)" else "ratio(LB)" in
     print_string
       (Crs_render.Table.render
          ~header:[ "algorithm"; "makespan"; denom; "unused" ]
          rows);
+    List.iter
+      (fun (name, reason) ->
+        Printf.printf "skipped %s: %s\n" name reason)
+      (List.rev !skipped);
     Printf.printf "certified lower bound: %d\n" lb;
     Option.iter (Printf.printf "exact optimum: %d\n") opt
     end
@@ -168,9 +255,11 @@ let campaign_cmd =
              ~doc:"Inclusive seed range; one instance per seed.")
   in
   let algos =
-    Arg.(value & opt_all string [ "greedy-balance" ]
+    Arg.(value & opt_all string [ Registry.Names.greedy_balance ]
          & info [ "a"; "algorithm" ] ~docv:"ALGO"
-             ~doc:"Algorithm to evaluate (repeatable). Available: $(docv) in the compare command's list.")
+             ~doc:"Algorithm to evaluate (repeatable); any registered name \
+                   (see `crsched algorithms'). Solvers whose capability \
+                   record rejects the family are reported not_applicable.")
   in
   let baseline =
     Arg.(value & opt string "exact"
@@ -207,14 +296,6 @@ let campaign_cmd =
         Printf.eprintf "error: unknown baseline %s (exact | lower-bound)\n" baseline;
         exit 1
     in
-    List.iter
-      (fun a ->
-        if not (List.mem a Crs_campaign.Runner.algorithm_names) then begin
-          Printf.eprintf "error: unknown algorithm %s; available: %s\n" a
-            (String.concat ", " Crs_campaign.Runner.algorithm_names);
-          exit 1
-        end)
-      algos;
     let spec =
       {
         Crs_campaign.Spec.family = fam;
@@ -282,10 +363,11 @@ let campaign_cmd =
 (* ---- render / graph ---- *)
 
 let render_cmd =
-  let run path (name, algo) =
+  let run path solver =
     let instance = read_instance path in
-    let trace = Execution.run_exn instance (algo instance) in
-    Printf.printf "algorithm: %s\n%s\n" name (Crs_render.Gantt.summary trace);
+    let trace = Execution.run_exn instance (schedule_of solver instance) in
+    Printf.printf "algorithm: %s\n%s\n" (Registry.name solver)
+      (Crs_render.Gantt.summary trace);
     print_string (Crs_render.Gantt.render trace);
     print_newline ();
     print_string (Crs_render.Gantt.render_compact trace)
@@ -298,9 +380,9 @@ let graph_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write dot to FILE.")
   in
-  let run path (_, algo) output =
+  let run path solver output =
     let instance = read_instance path in
-    let trace = Execution.run_exn instance (algo instance) in
+    let trace = Execution.run_exn instance (schedule_of solver instance) in
     let graph = Crs_hypergraph.Sched_graph.of_trace trace in
     Format.printf "%a@." Crs_hypergraph.Sched_graph.pp graph;
     match output with
@@ -316,13 +398,14 @@ let graph_cmd =
 (* ---- normalize ---- *)
 
 let normalize_cmd =
-  let run path (name, algo) =
+  let run path solver =
     let instance = read_instance path in
-    let schedule = algo instance in
+    let schedule = schedule_of solver instance in
     let normalized = Transform.normalize instance schedule in
     let before = Execution.run_exn instance schedule in
     let after = Execution.run_exn instance normalized in
-    Printf.printf "input  (%s): %s\n" name (Crs_render.Gantt.summary before);
+    Printf.printf "input  (%s): %s\n" (Registry.name solver)
+      (Crs_render.Gantt.summary before);
     Printf.printf "output (Lemma 1): %s\n" (Crs_render.Gantt.summary after);
     print_string (Crs_render.Gantt.render after)
   in
@@ -436,11 +519,11 @@ let export_cmd =
   let sched_out =
     Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"FILE" ~doc:"Write the raw schedule matrix.")
   in
-  let run path (name, algo) csv svg sched_out =
+  let run path solver csv svg sched_out =
     let instance = read_instance path in
-    let schedule = algo instance in
+    let schedule = schedule_of solver instance in
     let trace = Execution.run_exn instance schedule in
-    Printf.printf "%s: %s\n" name (Crs_render.Gantt.summary trace);
+    Printf.printf "%s: %s\n" (Registry.name solver) (Crs_render.Gantt.summary trace);
     Option.iter
       (fun f ->
         Crs_render.Export.save f (Crs_render.Export.trace_to_csv trace);
@@ -579,8 +662,8 @@ let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
   Cmd.group (Cmd.info "crsched" ~version:"1.0.0" ~doc)
     [
-      gen_cmd; solve_cmd; compare_cmd; campaign_cmd; render_cmd; graph_cmd;
-      normalize_cmd; reduce_cmd; simulate_cmd; verify_cmd; bounds_cmd;
+      algorithms_cmd; gen_cmd; solve_cmd; compare_cmd; campaign_cmd; render_cmd;
+      graph_cmd; normalize_cmd; reduce_cmd; simulate_cmd; verify_cmd; bounds_cmd;
       export_cmd; gallery_cmd;
     ]
 

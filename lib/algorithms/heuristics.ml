@@ -20,17 +20,5 @@ let smallest_requirement_first =
 let staircase =
   Policy.greedy_fill ~by:(fun _ a b -> a > b)
 
-let all =
-  [
-    ("greedy-balance", Greedy_balance.policy);
-    ("round-robin", Round_robin.policy);
-    ("uniform", uniform);
-    ("proportional", proportional);
-    ("fewest-remaining-first", fewest_remaining_first);
-    ("largest-requirement-first", largest_requirement_first);
-    ("smallest-requirement-first", smallest_requirement_first);
-    ("staircase", staircase);
-  ]
-
 let makespan_of policy instance =
   Execution.makespan (Execution.run_exn instance (Policy.run policy instance))

@@ -32,7 +32,6 @@ val staircase : Crs_core.Policy.t
     ahead of the one above it), so it serves as the constructive
     near-optimal witness in the F5 experiment. *)
 
-val all : (string * Crs_core.Policy.t) list
-(** Named list for sweeps, including GreedyBalance and RoundRobin. *)
-
 val makespan_of : Crs_core.Policy.t -> Crs_core.Instance.t -> int
+(** Named sweeps live in {!Registry.policies}; the former [all] list
+    moved there so algorithm names exist in exactly one module. *)

@@ -1,7 +1,8 @@
 module Q = Crs_num.Rational
 open Crs_core
 
-type solution = { makespan : int; schedule : Schedule.t }
+type counters = { cells_expanded : int; relaxations : int }
+type solution = { makespan : int; schedule : Schedule.t; counters : counters }
 
 type transition =
   | Start
@@ -31,7 +32,9 @@ let run_dp instance =
   check instance;
   let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
   let table : entry option array array = Array.make_matrix (n1 + 1) (n2 + 1) None in
+  let cells = ref 0 and relaxes = ref 0 in
   let relax i1 i2 t r from via =
+    incr relaxes;
     match table.(i1).(i2) with
     | Some e when not (better (t, r) (e.t, e.r)) -> ()
     | _ -> table.(i1).(i2) <- Some { t; r; from; via }
@@ -46,6 +49,7 @@ let run_dp instance =
       match table.(i1).(i2) with
       | None -> ()
       | Some e ->
+        incr cells;
         let t' = e.t + 1 in
         let fresh1 = req instance 0 (i1 + 1) and fresh2 = req instance 1 (i2 + 1) in
         if i1 >= n1 && i2 < n2 then
@@ -65,10 +69,10 @@ let run_dp instance =
         end
     done
   done;
-  table
+  (table, { cells_expanded = !cells; relaxations = !relaxes })
 
 let makespan instance =
-  let table = run_dp instance in
+  let table, _ = run_dp instance in
   let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
   match table.(n1).(n2) with
   | Some e -> e.t
@@ -77,7 +81,7 @@ let makespan instance =
 (* Replay the optimal path, tracking the individual remainders (v1, v2) of
    the active jobs to emit concrete share vectors. *)
 let solve instance =
-  let table = run_dp instance in
+  let table, counters = run_dp instance in
   let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
   let final =
     match table.(n1).(n2) with
@@ -140,7 +144,7 @@ let solve instance =
   let schedule =
     if rows = [] then Schedule.empty ~m:2 else Schedule.of_rows (Array.of_list rows)
   in
-  { makespan = final.t; schedule }
+  { makespan = final.t; schedule; counters }
 
 let table_dims instance =
   check instance;

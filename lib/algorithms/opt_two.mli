@@ -15,9 +15,15 @@
     invariant of Theorem 5 requires (see EXPERIMENTS.md, erratum E1; the
     implementation is cross-validated against brute force). *)
 
+type counters = {
+  cells_expanded : int;  (** DP cells reached and expanded in the sweep *)
+  relaxations : int;  (** transitions examined (relax calls) *)
+}
+
 type solution = {
   makespan : int;
   schedule : Crs_core.Schedule.t;  (** a witness achieving the makespan *)
+  counters : counters;  (** work counters, surfaced via {!Registry} *)
 }
 
 val solve : Crs_core.Instance.t -> solution

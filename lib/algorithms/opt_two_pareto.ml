@@ -32,6 +32,7 @@ let run_dp instance =
       let i2 = level - i1 in
       List.iter
         (fun (t, r) ->
+          Crs_util.Fuel.tick ();
           let t' = t + 1 in
           let fresh1 = req instance 0 (i1 + 1) and fresh2 = req instance 1 (i2 + 1) in
           let relax a b v = table.(a).(b) <- insert v table.(a).(b) in

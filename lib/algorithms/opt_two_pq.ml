@@ -21,13 +21,16 @@ let req instance i j =
 
 let better (t1, r1) (t2, r2) = t1 < t2 || (t1 = t2 && Q.(r1 < r2))
 
-let search instance =
+type stats = { makespan : int; expanded : int; relaxations : int }
+
+let run instance =
   check instance;
   let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
   let best : (int * int, int * Q.t) Hashtbl.t = Hashtbl.create 64 in
   let queue = ref PQ.empty in
-  let expanded = ref 0 in
+  let expanded = ref 0 and relaxes = ref 0 in
   let relax i1 i2 value =
+    incr relaxes;
     let key = (i1, i2) in
     match Hashtbl.find_opt best key with
     | Some old when not (better value old) -> ()
@@ -47,11 +50,13 @@ let search instance =
          final at the first pop (all predecessors live on strictly
          smaller levels), so later pops are skipped. *)
       let t, r = Hashtbl.find best (i1, i2) in
-      if i1 = n1 && i2 = n2 then answer := Some (t, !expanded)
+      if i1 = n1 && i2 = n2 then
+        answer := Some { makespan = t; expanded = !expanded; relaxations = !relaxes }
       else if Hashtbl.mem visited (i1, i2) then ()
       else begin
         Hashtbl.replace visited (i1, i2) ();
         incr expanded;
+        Crs_util.Fuel.tick ();
         let t' = t + 1 in
         let fresh1 = req instance 0 (i1 + 1) and fresh2 = req instance 1 (i2 + 1) in
         if i1 >= n1 then relax i1 (i2 + 1) (t', fresh2)
@@ -68,5 +73,5 @@ let search instance =
   | Some res -> res
   | None -> assert false
 
-let makespan instance = fst (search instance)
-let states_expanded instance = snd (search instance)
+let makespan instance = (run instance).makespan
+let states_expanded instance = (run instance).expanded

@@ -9,8 +9,18 @@
     [(0,0)], no state [(0, j)] or [(i, 0)] with [i, j ≥ 1] is ever
     touched. The ablation bench measures the actual gap. *)
 
+type stats = {
+  makespan : int;
+  expanded : int;  (** distinct states popped and expanded *)
+  relaxations : int;  (** relax calls (edges examined) *)
+}
+
+val run : Crs_core.Instance.t -> stats
+(** Single search returning the makespan together with work counters.
+    @raise Invalid_argument unless two processors, unit sizes. *)
+
 val makespan : Crs_core.Instance.t -> int
-(** @raise Invalid_argument unless two processors, unit sizes. *)
+(** [(run instance).makespan]. *)
 
 val states_expanded : Crs_core.Instance.t -> int
-(** Number of distinct states popped; for the ablation bench. *)
+(** [(run instance).expanded]; for the ablation bench. *)

@@ -1,0 +1,333 @@
+open Crs_core
+
+module Names = struct
+  let greedy_balance = "greedy-balance"
+  let round_robin = "round-robin"
+  let uniform = "uniform"
+  let proportional = "proportional"
+  let staircase = "staircase"
+  let fewest_remaining_first = "fewest-remaining-first"
+  let largest_requirement_first = "largest-requirement-first"
+  let smallest_requirement_first = "smallest-requirement-first"
+  let optimal = "optimal"
+  let opt_two = "opt-two"
+  let opt_two_pq = "opt-two-pq"
+  let opt_two_pareto = "opt-two-pareto"
+  let opt_config = "opt-config"
+  let brute_force = "brute-force"
+  let online_greedy_balance = "online-greedy-balance"
+  let online_round_robin = "online-round-robin"
+end
+
+module Counters = struct
+  type t = {
+    states_expanded : int;
+    dp_relaxations : int;
+    configs_enumerated : int;
+    fuel_ticks : int;
+  }
+
+  let zero =
+    { states_expanded = 0; dp_relaxations = 0; configs_enumerated = 0; fuel_ticks = 0 }
+
+  let to_assoc c =
+    [
+      ("states_expanded", c.states_expanded);
+      ("dp_relaxations", c.dp_relaxations);
+      ("configs_enumerated", c.configs_enumerated);
+      ("fuel_ticks", c.fuel_ticks);
+    ]
+end
+
+type kind = Exact | Approx | Heuristic | Online
+
+let kind_to_string = function
+  | Exact -> "exact"
+  | Approx -> "approx"
+  | Heuristic -> "heuristic"
+  | Online -> "online"
+
+type requires = {
+  min_m : int;
+  max_m : int option;
+  unit_size_only : bool;
+  fuel_aware : bool;
+}
+
+type outcome = {
+  makespan : int;
+  schedule : Schedule.t option;
+  counters : Counters.t;
+}
+
+module type SOLVER = sig
+  val name : string
+  val kind : kind
+  val about : string
+  val requires : requires
+  val witness : bool
+  val solve : Instance.t -> outcome
+end
+
+type solver = (module SOLVER)
+
+let any_m = { min_m = 1; max_m = None; unit_size_only = false; fuel_aware = false }
+
+(* A step policy run to completion: witness schedule, no native
+   counters (Fuel delta covers nothing — policies don't tick). *)
+let of_policy ~name:n ~kind:k ~about:a policy : solver =
+  (module struct
+    let name = n
+    let kind = k
+    let about = a
+    let requires = any_m
+    let witness = true
+
+    let solve instance =
+      let schedule = Policy.run policy instance in
+      let makespan = Execution.makespan (Execution.run_exn instance schedule) in
+      { makespan; schedule = Some schedule; counters = Counters.zero }
+  end)
+
+module Optimal : SOLVER = struct
+  let name = Names.optimal
+  let kind = Exact
+  let about = "best exact solver for the instance (Opt_two if m = 2, else Opt_config)"
+  let requires = { min_m = 1; max_m = None; unit_size_only = true; fuel_aware = true }
+  let witness = true
+
+  let solve instance =
+    if Instance.m instance = 2 then begin
+      let sol = Opt_two.solve instance in
+      {
+        makespan = sol.Opt_two.makespan;
+        schedule = Some sol.Opt_two.schedule;
+        counters =
+          {
+            Counters.zero with
+            states_expanded = sol.Opt_two.counters.Opt_two.cells_expanded;
+            dp_relaxations = sol.Opt_two.counters.Opt_two.relaxations;
+          };
+      }
+    end
+    else begin
+      let sol = Opt_config.solve instance in
+      {
+        makespan = sol.Opt_config.makespan;
+        schedule = Some sol.Opt_config.schedule;
+        counters =
+          {
+            Counters.zero with
+            states_expanded = List.fold_left ( + ) 0 sol.Opt_config.stats.Opt_config.layers;
+            configs_enumerated = sol.Opt_config.stats.Opt_config.generated;
+          };
+      }
+    end
+end
+
+module Opt_two_solver : SOLVER = struct
+  let name = Names.opt_two
+  let kind = Exact
+  let about = "O(n^2) dynamic program for two processors (paper, Algorithm 1)"
+  let requires = { min_m = 2; max_m = Some 2; unit_size_only = true; fuel_aware = true }
+  let witness = true
+
+  let solve instance =
+    let sol = Opt_two.solve instance in
+    {
+      makespan = sol.Opt_two.makespan;
+      schedule = Some sol.Opt_two.schedule;
+      counters =
+        {
+          Counters.zero with
+          states_expanded = sol.Opt_two.counters.Opt_two.cells_expanded;
+          dp_relaxations = sol.Opt_two.counters.Opt_two.relaxations;
+        };
+    }
+end
+
+module Opt_two_pq_solver : SOLVER = struct
+  let name = Names.opt_two_pq
+  let kind = Exact
+  let about = "priority-queue variant of opt-two; expands only reachable states"
+  let requires = { min_m = 2; max_m = Some 2; unit_size_only = true; fuel_aware = true }
+  let witness = false
+
+  let solve instance =
+    let stats = Opt_two_pq.run instance in
+    {
+      makespan = stats.Opt_two_pq.makespan;
+      schedule = None;
+      counters =
+        {
+          Counters.zero with
+          states_expanded = stats.Opt_two_pq.expanded;
+          dp_relaxations = stats.Opt_two_pq.relaxations;
+        };
+    }
+end
+
+module Opt_two_pareto_solver : SOLVER = struct
+  let name = Names.opt_two_pareto
+  let kind = Exact
+  let about = "Pareto-frontier DP auditing Lemma 3's sufficient statistic"
+  let requires = { min_m = 2; max_m = Some 2; unit_size_only = true; fuel_aware = true }
+  let witness = false
+
+  let solve instance =
+    let makespan = Opt_two_pareto.makespan instance in
+    { makespan; schedule = None; counters = Counters.zero }
+end
+
+module Opt_config_solver : SOLVER = struct
+  let name = Names.opt_config
+  let kind = Exact
+  let about = "layered configuration enumeration for any m (paper, Algorithm 2)"
+  let requires = { min_m = 1; max_m = None; unit_size_only = true; fuel_aware = true }
+  let witness = true
+
+  let solve instance =
+    let sol = Opt_config.solve instance in
+    {
+      makespan = sol.Opt_config.makespan;
+      schedule = Some sol.Opt_config.schedule;
+      counters =
+        {
+          Counters.zero with
+          states_expanded = List.fold_left ( + ) 0 sol.Opt_config.stats.Opt_config.layers;
+          configs_enumerated = sol.Opt_config.stats.Opt_config.generated;
+        };
+    }
+end
+
+module Brute_force_solver : SOLVER = struct
+  let name = Names.brute_force
+  let kind = Exact
+  let about = "reference DFS branch-and-bound; exponential, tiny instances only"
+  let requires = { min_m = 1; max_m = None; unit_size_only = true; fuel_aware = true }
+  let witness = false
+
+  let solve instance =
+    let makespan = Brute_force.makespan instance in
+    { makespan; schedule = None; counters = Counters.zero }
+end
+
+let policy_table =
+  [
+    ( Names.greedy_balance,
+      Approx,
+      "(2 - 1/m)-approximation; balances remaining job counts (Section 8.3)",
+      Greedy_balance.policy );
+    ( Names.round_robin,
+      Approx,
+      "2-approximation; phase-synchronous processor order (Section 4.2)",
+      Round_robin.policy );
+    (Names.uniform, Heuristic, "equal split among active processors", Policy.uniform);
+    ( Names.proportional,
+      Heuristic,
+      "split proportional to remaining work of active jobs",
+      Policy.proportional );
+    ( Names.staircase,
+      Heuristic,
+      "greedy fill by fixed processor priority, highest index first",
+      Heuristics.staircase );
+    ( Names.fewest_remaining_first,
+      Heuristic,
+      "greedy fill prioritizing processors with fewer remaining jobs",
+      Heuristics.fewest_remaining_first );
+    ( Names.largest_requirement_first,
+      Heuristic,
+      "greedy fill prioritizing the largest active requirement",
+      Heuristics.largest_requirement_first );
+    ( Names.smallest_requirement_first,
+      Heuristic,
+      "greedy fill prioritizing the smallest active requirement",
+      Heuristics.smallest_requirement_first );
+  ]
+
+let online_table =
+  [
+    ( Names.online_greedy_balance,
+      "GreedyBalance through the semi-online view interface",
+      Crs_core.Online.greedy_balance );
+    ( Names.online_round_robin,
+      "RoundRobin through the semi-online view interface",
+      Crs_core.Online.round_robin );
+  ]
+
+let all : solver list =
+  List.map
+    (fun (n, k, a, p) -> of_policy ~name:n ~kind:k ~about:a p)
+    policy_table
+  @ [ (module Optimal : SOLVER) ]
+  @ [
+      (module Opt_two_solver : SOLVER);
+      (module Opt_two_pq_solver : SOLVER);
+      (module Opt_two_pareto_solver : SOLVER);
+      (module Opt_config_solver : SOLVER);
+      (module Brute_force_solver : SOLVER);
+    ]
+  @ List.map
+      (fun (n, a, online) ->
+        of_policy ~name:n ~kind:Online ~about:a (Crs_core.Online.to_policy online))
+      online_table
+
+let name (solver : solver) =
+  let module S = (val solver) in
+  S.name
+
+let kind (solver : solver) =
+  let module S = (val solver) in
+  S.kind
+
+let about (solver : solver) =
+  let module S = (val solver) in
+  S.about
+
+let requires (solver : solver) =
+  let module S = (val solver) in
+  S.requires
+
+let witness (solver : solver) =
+  let module S = (val solver) in
+  S.witness
+
+let names = List.map name all
+let find wanted = List.find_opt (fun s -> String.equal (name s) wanted) all
+
+let find_exn wanted =
+  match find wanted with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.find_exn: unknown solver %S (valid: %s)" wanted
+         (String.concat ", " names))
+
+let applicability solver instance =
+  let r = requires solver in
+  let n = name solver in
+  let m = Instance.m instance in
+  if m < r.min_m then
+    Error (Printf.sprintf "%s requires m >= %d, instance has m = %d" n r.min_m m)
+  else
+    match r.max_m with
+    | Some mx when m > mx ->
+      Error (Printf.sprintf "%s requires m <= %d, instance has m = %d" n mx m)
+    | _ ->
+      if r.unit_size_only && not (Instance.is_unit_size instance) then
+        Error (Printf.sprintf "%s requires unit-size jobs" n)
+      else Ok ()
+
+let solve solver instance =
+  (match applicability solver instance with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Registry.solve: " ^ reason));
+  let module S = (val solver : SOLVER) in
+  let before = Crs_util.Fuel.ticks () in
+  let out = S.solve instance in
+  let spent = Crs_util.Fuel.ticks () - before in
+  { out with counters = { out.counters with Counters.fuel_ticks = spent } }
+
+let policies =
+  List.map (fun (n, _, _, p) -> (n, p)) policy_table
+  @ List.map (fun (n, _, o) -> (n, Crs_core.Online.to_policy o)) online_table

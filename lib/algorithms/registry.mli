@@ -1,0 +1,132 @@
+(** Capability-aware solver registry.
+
+    Every algorithm in the repo — the paper's exact solvers, its
+    2-approximations, the baseline heuristics and the semi-online
+    variants — is exposed as a first-class module implementing
+    {!SOLVER}: a canonical name, a {!kind}, a capability record
+    ({!requires}) saying which instances it accepts, and a uniform
+    [solve] returning the makespan, an optional witness schedule and
+    structured work counters ({!Counters.t}).
+
+    The registry is the single source of truth for algorithm name
+    strings: the CLI derives its [--algorithm] enums from {!names}, the
+    campaign runner filters by {!applicability} (an exact solver swept
+    over an [m = 3] family reports [not_applicable] instead of
+    crashing), and the benches look solvers up by name instead of
+    hard-wiring [Crs_algorithms.*] call sites. *)
+
+(** Canonical name constants — the only place these strings are
+    defined. Everything else ([Spec], the CLI, the benches, the
+    many-core policy table) refers to them by identifier. *)
+module Names : sig
+  val greedy_balance : string
+  val round_robin : string
+  val uniform : string
+  val proportional : string
+  val staircase : string
+  val fewest_remaining_first : string
+  val largest_requirement_first : string
+  val smallest_requirement_first : string
+  val optimal : string
+  val opt_two : string
+  val opt_two_pq : string
+  val opt_two_pareto : string
+  val opt_config : string
+  val brute_force : string
+  val online_greedy_balance : string
+  val online_round_robin : string
+end
+
+(** Uniform work counters. Each solver fills the fields it can measure
+    natively; {!solve} additionally meters [fuel_ticks] as the
+    {!Crs_util.Fuel.ticks} delta across the run, so every fuel-aware
+    solver gets a comparable work figure even when its native counters
+    differ in meaning. *)
+module Counters : sig
+  type t = {
+    states_expanded : int;  (** DP cells / PQ pops / surviving configs *)
+    dp_relaxations : int;  (** transitions examined *)
+    configs_enumerated : int;  (** configurations generated (Opt_config) *)
+    fuel_ticks : int;  (** {!Crs_util.Fuel.ticks} delta across the solve *)
+  }
+
+  val zero : t
+
+  val to_assoc : t -> (string * int) list
+  (** Stable field order for serialization (JSONL, bench reports). *)
+end
+
+type kind =
+  | Exact  (** provably optimal makespan *)
+  | Approx  (** worst-case approximation guarantee from the paper *)
+  | Heuristic  (** no guarantee; baseline comparator *)
+  | Online  (** information-restricted (semi-online) policy *)
+
+val kind_to_string : kind -> string
+
+(** What a solver needs from an instance. [applicability] checks these
+    against a concrete instance before dispatch. *)
+type requires = {
+  min_m : int;  (** fewest processors accepted *)
+  max_m : int option;  (** most processors accepted; [None] = unbounded *)
+  unit_size_only : bool;  (** accepts only unit-size jobs *)
+  fuel_aware : bool;  (** calls {!Crs_util.Fuel.tick}, so budgets apply *)
+}
+
+type outcome = {
+  makespan : int;
+  schedule : Crs_core.Schedule.t option;
+      (** a witness achieving [makespan]; [None] for makespan-only
+          solvers (opt-two-pq, opt-two-pareto, brute-force) *)
+  counters : Counters.t;
+}
+
+module type SOLVER = sig
+  val name : string
+  val kind : kind
+  val about : string
+  (** One-line description for tables and [--help]. *)
+
+  val requires : requires
+
+  val witness : bool
+  (** [solve] always returns [Some schedule]. *)
+
+  val solve : Crs_core.Instance.t -> outcome
+end
+
+type solver = (module SOLVER)
+
+val all : solver list
+(** Every registered solver. The first nine entries keep the historical
+    campaign-table order (heuristics then ["optimal"]); the exact
+    variants and online policies follow. *)
+
+val names : string list
+(** Names of {!all}, in order. *)
+
+val find : string -> solver option
+val find_exn : string -> solver
+(** @raise Invalid_argument on an unknown name, listing valid ones. *)
+
+(** {2 Projections} *)
+
+val name : solver -> string
+val kind : solver -> kind
+val about : solver -> string
+val requires : solver -> requires
+val witness : solver -> bool
+
+val applicability : solver -> Crs_core.Instance.t -> (unit, string) result
+(** [Ok ()] when the instance satisfies the solver's {!requires};
+    otherwise [Error reason] with a human-readable sentence. *)
+
+val solve : solver -> Crs_core.Instance.t -> outcome
+(** Checked dispatch: verifies {!applicability}, runs the solver, and
+    fills [counters.fuel_ticks] with the {!Crs_util.Fuel.ticks} delta.
+    @raise Invalid_argument when the instance is not applicable. *)
+
+val policies : (string * Crs_core.Policy.t) list
+(** The policy-backed solvers (kinds [Approx], [Heuristic], [Online]) as
+    step policies, for property tests and the simulator. Replaces the
+    former [Heuristics.all]. *)

@@ -5,12 +5,13 @@
    Timing fields (wall_ns) are the only nondeterministic part and are
    excluded from [payload] and the determinism digest. *)
 
-type outcome = Done | Timeout | Error of string
+type outcome = Done | Timeout | Error of string | Not_applicable of string
 
 let outcome_label = function
   | Done -> "done"
   | Timeout -> "timeout"
   | Error _ -> "error"
+  | Not_applicable _ -> "not_applicable"
 
 type record = {
   id : int;
@@ -26,6 +27,7 @@ type record = {
   baseline : string;
   optimum : int option;
   ratio : float option;
+  counters : Crs_algorithms.Registry.Counters.t option;
   wall_ns : int;
 }
 
@@ -58,6 +60,14 @@ let obj fields =
   ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
   ^ "}"
 
+let jcounters = function
+  | None -> "null"
+  | Some c ->
+    obj
+      (List.map
+         (fun (k, v) -> (k, string_of_int v))
+         (Crs_algorithms.Registry.Counters.to_assoc c))
+
 let fields ~timing r =
   [
     ("id", string_of_int r.id);
@@ -69,11 +79,16 @@ let fields ~timing r =
     ("digest", jstr r.digest);
     ("algorithm", jstr r.algorithm);
     ("outcome", jstr (outcome_label r.outcome));
-    ("detail", jstr (match r.outcome with Error msg -> msg | _ -> ""));
+    ( "detail",
+      jstr
+        (match r.outcome with
+        | Error msg | Not_applicable msg -> msg
+        | Done | Timeout -> "") );
     ("makespan", jint_opt r.makespan);
     ("baseline", jstr r.baseline);
     ("optimum", jint_opt r.optimum);
     ("ratio", jfloat_opt r.ratio);
+    ("counters", jcounters r.counters);
   ]
   @ if timing then [ ("wall_ns", string_of_int r.wall_ns) ] else []
 
@@ -95,6 +110,7 @@ type summary = {
   completed : int;
   timeouts : int;
   errors : int;
+  not_applicable : int;
   mean_ratio : float option;
   worst : record option;  (* highest ratio among completed items *)
   histogram : (float * int) array;  (* bucket lower edge (width 0.1) -> count *)
@@ -106,6 +122,7 @@ let histogram_buckets = 11 (* [1.0,1.1) .. [1.9,2.0), then >= 2.0 *)
 
 let summarize records =
   let completed = ref 0 and timeouts = ref 0 and errors = ref 0 in
+  let inapplicable = ref 0 in
   let ratio_sum = ref 0.0 and ratio_count = ref 0 in
   let worst = ref None in
   let hist = Array.make histogram_buckets 0 in
@@ -116,7 +133,8 @@ let summarize records =
       (match r.outcome with
       | Done -> incr completed
       | Timeout -> incr timeouts
-      | Error _ -> incr errors);
+      | Error _ -> incr errors
+      | Not_applicable _ -> incr inapplicable);
       match r.ratio with
       | None -> ()
       | Some q ->
@@ -136,6 +154,7 @@ let summarize records =
     completed = !completed;
     timeouts = !timeouts;
     errors = !errors;
+    not_applicable = !inapplicable;
     mean_ratio =
       (if !ratio_count = 0 then None
        else Some (!ratio_sum /. float_of_int !ratio_count));
@@ -153,6 +172,7 @@ let summary_to_json s =
       ("completed", string_of_int s.completed);
       ("timeouts", string_of_int s.timeouts);
       ("errors", string_of_int s.errors);
+      ("not_applicable", string_of_int s.not_applicable);
       ("mean_ratio", jfloat_opt s.mean_ratio);
       ( "worst",
         match s.worst with None -> "null" | Some r -> payload r );
@@ -171,8 +191,11 @@ let summary_to_json s =
 let render_summary s =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "items %d: %d done, %d timeout, %d error\n" s.items
-       s.completed s.timeouts s.errors);
+    (Printf.sprintf "items %d: %d done, %d timeout, %d error%s\n" s.items
+       s.completed s.timeouts s.errors
+       (if s.not_applicable > 0 then
+          Printf.sprintf ", %d not applicable" s.not_applicable
+        else ""));
   (match s.mean_ratio with
   | Some q -> Buffer.add_string buf (Printf.sprintf "mean ratio %.4f\n" q)
   | None -> ());

@@ -13,6 +13,9 @@ type outcome =
   | Done
   | Timeout  (** a fuel-metered solve ran out of budget *)
   | Error of string  (** the item raised; the message is recorded *)
+  | Not_applicable of string
+      (** the solver's capability record rejected the instance (e.g.
+          opt-two on [m = 3]); the reason is recorded, no solve ran *)
 
 val outcome_label : outcome -> string
 
@@ -30,6 +33,9 @@ type record = {
   baseline : string;  (** ["exact"] or ["lower-bound"] *)
   optimum : int option;  (** [None] when the baseline solve timed out *)
   ratio : float option;  (** makespan / optimum *)
+  counters : Crs_algorithms.Registry.Counters.t option;
+      (** the solver's work counters; [None] when no solve ran or the
+          algorithm has none. Deterministic, so part of [payload]. *)
   wall_ns : int;  (** item wall-clock; excluded from [payload] *)
 }
 
@@ -47,6 +53,7 @@ type summary = {
   completed : int;
   timeouts : int;
   errors : int;
+  not_applicable : int;
   mean_ratio : float option;
   worst : record option;
       (** highest-ratio completed item — retained so the offending

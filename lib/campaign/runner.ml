@@ -1,50 +1,57 @@
 open Crs_core
+module Registry = Crs_algorithms.Registry
 
-(* The algorithm registry shared by the campaign runner and the crsched
-   CLI (both `campaign` and `compare` dispatch through it, so the two
-   paths agree on names and semantics). *)
-let algorithms : (string * (Instance.t -> Schedule.t)) list =
-  [
-    ("greedy-balance", Crs_algorithms.Greedy_balance.schedule);
-    ("round-robin", Crs_algorithms.Round_robin.schedule);
-    ("uniform", Policy.run Crs_algorithms.Heuristics.uniform);
-    ("proportional", Policy.run Crs_algorithms.Heuristics.proportional);
-    ("staircase", Policy.run Crs_algorithms.Heuristics.staircase);
-    ( "fewest-remaining-first",
-      Policy.run Crs_algorithms.Heuristics.fewest_remaining_first );
-    ( "largest-requirement-first",
-      Policy.run Crs_algorithms.Heuristics.largest_requirement_first );
-    ( "smallest-requirement-first",
-      Policy.run Crs_algorithms.Heuristics.smallest_requirement_first );
-    ("optimal", Crs_algorithms.Solver.optimal_schedule);
-  ]
+(* Default name set for single-instance comparison tables: every
+   policy-backed algorithm plus the "optimal" exact dispatcher, in
+   registry order. The specialized exact variants (opt-two, opt-two-pq,
+   …) are opt-in by name. *)
+let default_names =
+  List.filter
+    (fun n ->
+      match Registry.kind (Registry.find_exn n) with
+      | Registry.Exact -> String.equal n Registry.Names.optimal
+      | _ -> true)
+    Registry.names
 
-let algorithm_names = List.map fst algorithms
+let algorithm_names = Registry.names
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-type 'a metered = Value of 'a | Ran_out | Raised of string
+type 'a metered =
+  | Value of 'a
+  | Ran_out
+  | Raised of string
+  | Inapplicable of string
 
 let metered fuel f =
   try Value (Crs_util.Fuel.with_fuel fuel f) with
   | Crs_util.Fuel.Out_of_fuel -> Ran_out
   | e -> Raised (Printexc.to_string e)
 
-(* Evaluate one algorithm on one instance. Each phase (algorithm, then
-   baseline) gets its own fuel budget; running out in either records a
-   Timeout instead of hanging the campaign, and any other exception is
-   captured so one poisoned instance never kills the run. *)
+(* Evaluate one algorithm on one instance. The registry's capability
+   check runs first, so an exact solver swept over a family outside its
+   range records Not_applicable instead of crashing the item. Each phase
+   (algorithm, then baseline) gets its own fuel budget; running out in
+   either records a Timeout instead of hanging the campaign, and any
+   other exception is captured so one poisoned instance never kills the
+   run. *)
 let evaluate ~fuel ~baseline ~algorithm instance =
+  let counters = ref None in
   let makespan_result =
-    match List.assoc_opt algorithm algorithms with
+    match Registry.find algorithm with
     | None -> Raised (Printf.sprintf "unknown algorithm %s" algorithm)
-    | Some algo ->
-      metered fuel (fun () ->
-          Execution.makespan (Execution.run_exn instance (algo instance)))
+    | Some solver -> (
+      match Registry.applicability solver instance with
+      | Stdlib.Error reason -> Inapplicable reason
+      | Ok () ->
+        metered fuel (fun () ->
+            let out = Registry.solve solver instance in
+            counters := Some out.Registry.counters;
+            out.Registry.makespan))
   in
   let baseline_result =
     match makespan_result with
-    | Ran_out | Raised _ -> Value 0 (* unused *)
+    | Ran_out | Raised _ | Inapplicable _ -> Value 0 (* unused *)
     | Value _ ->
       metered fuel (fun () ->
           match baseline with
@@ -53,24 +60,26 @@ let evaluate ~fuel ~baseline ~algorithm instance =
   in
   let outcome, makespan, optimum =
     match (makespan_result, baseline_result) with
+    | Inapplicable reason, _ -> (Report.Not_applicable reason, None, None)
     | Ran_out, _ -> (Report.Timeout, None, None)
     | Raised msg, _ -> (Report.Error msg, None, None)
     | Value ms, Value opt -> (Report.Done, Some ms, Some opt)
     | Value ms, Ran_out -> (Report.Timeout, Some ms, None)
     | Value ms, Raised msg -> (Report.Error msg, Some ms, None)
+    | Value _, Inapplicable _ -> assert false (* baseline is never checked *)
   in
   let ratio =
     match (makespan, optimum) with
     | Some ms, Some opt when opt > 0 -> Some (float_of_int ms /. float_of_int opt)
     | _ -> None
   in
-  (outcome, makespan, optimum, ratio)
+  (outcome, makespan, optimum, ratio, !counters)
 
 let run_item spec (item : Spec.item) =
   let t0 = now_ns () in
   let instance = Spec.instance spec ~seed:item.seed in
   let digest = Digest.to_hex (Digest.string (Instance.to_string instance)) in
-  let outcome, makespan, optimum, ratio =
+  let outcome, makespan, optimum, ratio, counters =
     evaluate ~fuel:spec.Spec.fuel ~baseline:spec.Spec.baseline
       ~algorithm:item.algorithm instance
   in
@@ -88,6 +97,7 @@ let run_item spec (item : Spec.item) =
     baseline = Spec.baseline_to_string spec.Spec.baseline;
     optimum;
     ratio;
+    counters;
     wall_ns = now_ns () - t0;
   }
 
@@ -99,13 +109,13 @@ let run ?(domains = 1) spec =
     if domains <= 1 then Array.map (run_item spec) items
     else Pool.map ~domains (run_item spec) items
 
-let compare_records ?(names = algorithm_names) ?(baseline = Spec.Exact) ?fuel
+let compare_records ?(names = default_names) ?(baseline = Spec.Exact) ?fuel
     ~family instance =
   let digest = Digest.to_hex (Digest.string (Instance.to_string instance)) in
   List.mapi
     (fun id name ->
       let t0 = now_ns () in
-      let outcome, makespan, optimum, ratio =
+      let outcome, makespan, optimum, ratio, counters =
         evaluate ~fuel ~baseline ~algorithm:name instance
       in
       {
@@ -122,6 +132,7 @@ let compare_records ?(names = algorithm_names) ?(baseline = Spec.Exact) ?fuel
         baseline = Spec.baseline_to_string baseline;
         optimum;
         ratio;
+        counters;
         wall_ns = now_ns () - t0;
       })
     names

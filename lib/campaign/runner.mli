@@ -7,16 +7,21 @@
     share no mutable state — so [run ~domains:1] and [run ~domains:k]
     produce identical {!Report.payload}s. *)
 
-val algorithms : (string * (Crs_core.Instance.t -> Crs_core.Schedule.t)) list
-(** Name → algorithm registry shared with the crsched CLI. *)
+val default_names : string list
+(** Default set for comparison tables: every policy-backed algorithm
+    plus ["optimal"], in registry order. *)
 
 val algorithm_names : string list
+(** All registered names ([= Crs_algorithms.Registry.names]). *)
 
 val run_item : Spec.t -> Spec.item -> Report.record
-(** Evaluate one item: regenerate the instance from its seed, run the
-    algorithm and then the baseline (each under the spec's fuel budget),
-    capture [Out_of_fuel] as [Timeout] and any other exception as
-    [Error]. Never raises. *)
+(** Evaluate one item: regenerate the instance from its seed, check the
+    solver's capability record (a rejected instance records
+    [Not_applicable] without running), run the algorithm and then the
+    baseline (each under the spec's fuel budget), capture [Out_of_fuel]
+    as [Timeout] and any other exception as [Error]. Never raises. The
+    record carries the solver's {!Crs_algorithms.Registry.Counters.t}
+    when the solve completed. *)
 
 val run : ?domains:int -> Spec.t -> Report.record array
 (** Run the whole campaign; records are in item order regardless of the

@@ -40,16 +40,27 @@ let default =
     granularity = 10;
     seed_lo = 1;
     seed_hi = 50;
-    algorithms = [ "greedy-balance" ];
+    algorithms = [ Crs_algorithms.Registry.Names.greedy_balance ];
     baseline = Exact;
     fuel = Some 2_000_000;
   }
 
 let validate spec =
+  let unknown =
+    List.filter
+      (fun a -> Crs_algorithms.Registry.find a = None)
+      spec.algorithms
+  in
   if spec.m < 1 then Error "m must be at least 1"
   else if spec.n < 0 then Error "n must be non-negative"
   else if spec.granularity < 1 then Error "granularity must be at least 1"
   else if spec.algorithms = [] then Error "need at least one algorithm"
+  else if unknown <> [] then
+    Error
+      (Printf.sprintf "unknown algorithm%s %s (valid: %s)"
+         (if List.length unknown > 1 then "s" else "")
+         (String.concat ", " unknown)
+         (String.concat ", " Crs_algorithms.Registry.names))
   else if
     match spec.fuel with Some b -> b < 1 | None -> false
   then Error "fuel must be positive"

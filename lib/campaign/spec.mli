@@ -25,7 +25,7 @@ type t = {
   granularity : int;  (** requirement grid 1/g *)
   seed_lo : int;
   seed_hi : int;  (** inclusive; empty range => empty campaign *)
-  algorithms : string list;  (** names from {!Runner.algorithms} *)
+  algorithms : string list;  (** names from {!Crs_algorithms.Registry} *)
   baseline : baseline;
   fuel : int option;  (** per-solve tick budget; [None] = unlimited *)
 }
@@ -35,6 +35,8 @@ val default : t
     fuel 2e6. *)
 
 val validate : t -> (t, string) result
+(** Checks ranges and that every algorithm name is registered in
+    {!Crs_algorithms.Registry} (the error lists the valid names). *)
 
 type item = { id : int; seed : int; algorithm : string }
 

@@ -93,7 +93,7 @@ let greedy_balance =
     in
     pour order views
   in
-  { name = "greedy-balance"; allocate }
+  { name = Crs_algorithms.Registry.Names.greedy_balance; allocate }
 
 let round_robin_phases =
   let allocate views =
@@ -114,6 +114,6 @@ let round_robin_phases =
       in
       pour order views
   in
-  { name = "round-robin"; allocate }
+  { name = Crs_algorithms.Registry.Names.round_robin; allocate }
 
 let all = [ fair_share; demand_proportional; first_come; greedy_balance; round_robin_phases ]

@@ -93,16 +93,32 @@ let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
 let in_unit_interval x = zero <= x && x <= one
 
 let to_float t =
-  (* Convert via string when the parts fit in float range; fall back to a
-     scaled division otherwise. Precision here is best-effort: this
-     function exists for reporting, never for decisions. *)
+  (* Convert directly when the parts fit in an int; fall back to a scaled
+     division, then to mantissa/exponent splitting. Precision here is
+     best-effort: this function exists for reporting, never for
+     decisions. *)
   match (Bigint.to_int_opt t.num, Bigint.to_int_opt t.den) with
   | Some n, Some d -> float_of_int n /. float_of_int d
   | _ ->
     let scale = Bigint.of_int 1_000_000_000 in
     (match Bigint.to_int_opt (Bigint.div (Bigint.mul t.num scale) t.den) with
     | Some s -> float_of_int s /. 1e9
-    | None -> float_of_string (Bigint.to_string t.num) /. float_of_string (Bigint.to_string t.den))
+    | None ->
+      (* Both parts can exceed float range (a plain float_of_string
+         quotient would be inf /. inf = nan even when the true ratio is
+         modest, e.g. 10^400 / 10^390 = 1e10). Take each part's leading
+         digits as a mantissa and track the dropped digits as a power of
+         ten; overflow and underflow then come out as inf / 0 only when
+         the ratio itself deserves it. *)
+      let split s =
+        let keep = Stdlib.min (String.length s) 15 in
+        ( float_of_string (String.sub s 0 keep),
+          Stdlib.( - ) (String.length s) keep )
+      in
+      let mn, en = split (Bigint.to_string (Bigint.abs t.num)) in
+      let md, ed = split (Bigint.to_string t.den) in
+      let magnitude = mn /. md *. (10.0 ** float_of_int (Stdlib.( - ) en ed)) in
+      if Stdlib.( < ) (Bigint.sign t.num) 0 then -.magnitude else magnitude)
 
 let to_string t =
   if is_integer t then Bigint.to_string t.num

@@ -13,7 +13,15 @@ exception Out_of_fuel
 (* -1 encodes "unlimited": tick is a no-op outside [with_fuel]. *)
 let slot = Domain.DLS.new_key (fun () -> ref (-1))
 
+(* Cumulative ticks ever consumed in this domain, metered or not: the
+   substrate for uniform work counters (Registry.Counters). Monotone, so
+   callers measure a solve by taking a delta around it. *)
+let spent_slot = Domain.DLS.new_key (fun () -> ref 0)
+
+let ticks () = !(Domain.DLS.get spent_slot)
+
 let tick () =
+  incr (Domain.DLS.get spent_slot);
   let r = Domain.DLS.get slot in
   if !r >= 0 then begin
     if !r = 0 then raise Out_of_fuel;

@@ -22,3 +22,8 @@ val tick : unit -> unit
 
 val remaining : unit -> int option
 (** Ticks left under the innermost [with_fuel], [None] when unmetered. *)
+
+val ticks : unit -> int
+(** Cumulative ticks ever consumed in this domain, metered or not —
+    monotone, so a solver's work is the delta across its run. This is
+    the shared substrate for the registry's uniform work counters. *)

@@ -245,7 +245,7 @@ let test_heuristics_never_below_opt () =
       (fun (name, policy) ->
         let ms = Crs_algorithms.Heuristics.makespan_of policy inst in
         Alcotest.(check bool) (name ^ " >= OPT") true (ms >= opt))
-      Crs_algorithms.Heuristics.all
+      Crs_algorithms.Registry.policies
   done
 
 let test_certified_bound_on_families () =

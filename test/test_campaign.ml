@@ -189,7 +189,8 @@ let test_json_escaping () =
       C.Report.id = 0; family = "f"; m = 1; n = 1; granularity = None;
       seed = None; digest = ""; algorithm = "a";
       outcome = C.Report.Error "a\"b\\c\nd\x01"; makespan = None;
-      baseline = "exact"; optimum = None; ratio = None; wall_ns = 0;
+      baseline = "exact"; optimum = None; ratio = None; counters = None;
+      wall_ns = 0;
     }
   in
   Alcotest.(check bool) "quotes, backslashes, control chars escaped" true

@@ -200,7 +200,20 @@ let test_rational_compare () =
 let test_rational_to_float () =
   Alcotest.(check (float 1e-9)) "3/4" 0.75 (Q.to_float (Q.of_ints 3 4));
   Alcotest.(check (float 1e-6)) "big ratio" 0.5
-    (Q.to_float (Q.make (Z.of_string "500000000000000000000") (Z.of_string "1000000000000000000000")))
+    (Q.to_float (Q.make (Z.of_string "500000000000000000000") (Z.of_string "1000000000000000000000")));
+  (* Both parts beyond float range: num and den individually overflow to
+     inf, so the old string fallback produced inf /. inf = nan. *)
+  let pow10 e = Z.pow (Z.of_int 10) e in
+  let huge = Q.make (pow10 400) (Z.mul (Z.of_int 3) (pow10 390)) in
+  Alcotest.(check (float 1e4)) "10^400 / 3*10^390" 3.3333333e9 (Q.to_float huge);
+  Alcotest.(check (float 1e4)) "negative huge" (-3.3333333e9)
+    (Q.to_float (Q.neg huge));
+  (* A ratio that genuinely overflows/underflows the float range should
+     come out as inf / 0, not nan. *)
+  Alcotest.(check bool) "overflow is inf" true
+    (Q.to_float (Q.make (pow10 400) (Z.of_int 1)) = Float.infinity);
+  Alcotest.(check (float 0.0)) "underflow is 0" 0.0
+    (Q.to_float (Q.make (Z.of_int 1) (pow10 400)))
 
 let rat_gen =
   QCheck2.Gen.(

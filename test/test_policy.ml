@@ -34,7 +34,7 @@ let test_run_completes () =
       let sched = Policy.run policy inst in
       let trace = Execution.run_exn inst sched in
       Alcotest.(check bool) (name ^ " completes") true trace.Execution.completed)
-    Crs_algorithms.Heuristics.all
+    Crs_algorithms.Registry.policies
 
 let test_run_rejects_infeasible_policy () =
   let inst = Helpers.instance_of_strings [ [ "1" ] ] in
@@ -83,7 +83,7 @@ let prop_policies_feasible_and_complete =
           let sched = Policy.run policy instance in
           Result.is_ok (Schedule.check_feasible sched)
           && (Execution.run_exn instance sched).Execution.completed)
-        Crs_algorithms.Heuristics.all)
+        Crs_algorithms.Registry.policies)
 
 let suite =
   [
