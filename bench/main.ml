@@ -6,8 +6,10 @@
    DESIGN.md section 5 for the index and EXPERIMENTS.md for recorded
    results). Run `dune exec bench/main.exe` for all experiments, pass an
    experiment id (f1 f2 f3 f4 f5 t3 t5 t6 t7 l56 mc ext bp dc fa mr
-   ablation campaign) to run one, or `micro` for the Bechamel runtime
-   micro-benchmarks. *)
+   ablation campaign registry num) to run one, or `micro` for the
+   Bechamel runtime micro-benchmarks. `num` also accepts `--check`
+   (fast differential sample only) and `--record-baseline` (write
+   data/num_baseline.json for the speedup gate). *)
 
 module Q = Crs_num.Rational
 open Crs_core
@@ -746,10 +748,17 @@ let exp_campaign () =
            par_digest ];
        ]);
   let summary = C.Report.summarize seq in
-  Printf.printf "speedup %.2fx on %d domains (%d hardware core%s available)\n"
-    speedup domains
-    (Domain.recommended_domain_count ())
-    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  let hardware_cores = Domain.recommended_domain_count () in
+  (* On a box with fewer cores than domains the parallel run just
+     time-slices one core; the ratio measures scheduler overhead, not
+     scaling, and must not be read as a speedup claim. *)
+  let speedup_meaningful = hardware_cores >= domains in
+  Printf.printf "speedup %.2fx on %d domains (%d hardware core%s available)%s\n"
+    speedup domains hardware_cores
+    (if hardware_cores = 1 then "" else "s")
+    (if speedup_meaningful then ""
+     else " — NOT meaningful: fewer cores than domains, ratio reflects \
+           scheduling overhead only");
   Printf.printf "sweep: %d done, %d timeout, mean ratio %s\n" summary.C.Report.completed
     summary.C.Report.timeouts
     (match summary.C.Report.mean_ratio with
@@ -759,10 +768,10 @@ let exp_campaign () =
     Printf.sprintf
       "{\"items\":%d,\"domains\":%d,\"hardware_cores\":%d,\"sequential_s\":%.6f,\
        \"parallel_s\":%.6f,\"sequential_items_per_s\":%.2f,\
-       \"parallel_items_per_s\":%.2f,\"speedup\":%.4f,\"payloads_identical\":%b}\n"
-      items domains
-      (Domain.recommended_domain_count ())
-      seq_s par_s (rate seq_s) (rate par_s) speedup
+       \"parallel_items_per_s\":%.2f,\"speedup\":%.4f,\
+       \"speedup_meaningful\":%b,\"payloads_identical\":%b}\n"
+      items domains hardware_cores seq_s par_s (rate seq_s) (rate par_s) speedup
+      speedup_meaningful
       (seq_digest = par_digest)
   in
   Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
@@ -834,6 +843,175 @@ let exp_registry () =
   Printf.printf "wrote BENCH_registry.json\n";
   assert (overhead_pct <= budget_pct)
 
+(* ---------- num: number-layer throughput + gate ---------- *)
+
+(* Minimal field extractor for the flat one-line JSON files this harness
+   writes; no JSON dependency is installed. *)
+let json_number_field text key =
+  let needle = "\"" ^ key ^ "\":" in
+  let n = String.length text and m = String.length ("\"" ^ key ^ "\":") in
+  let rec find i =
+    if i + m > n then None
+    else if String.equal (String.sub text i m) needle then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < n
+      &&
+      match text.[!stop] with
+      | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr stop
+    done;
+    if !stop = start then None
+    else float_of_string_opt (String.sub text start (!stop - start))
+
+let num_baseline_path = "data/num_baseline.json"
+
+(* The per-op loops run on paper-style operands: requirement-sized
+   fractions with denominators <= 12, i.e. the small tier once the
+   two-tier representation lands. *)
+let num_measure () =
+  let pool_size = 1024 in
+  let pool =
+    Array.init pool_size (fun i -> Q.of_ints ((i mod 23) - 11) ((i mod 12) + 1))
+  in
+  let per_op name iters f =
+    (* Start every timed section from a compacted heap: the sections
+       differ wildly in allocation profile, and inherited GC state
+       otherwise skews later sections by 2x. *)
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    for k = 0 to iters - 1 do
+      ignore (Sys.opaque_identity (f pool.(k land 1023) pool.((k * 7 + 3) land 1023)))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (name, dt /. float_of_int iters *. 1e9)
+  in
+  let time_min ~reps f =
+    Gc.compact ();
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let ops =
+    [
+      per_op "add" 1_000_000 Q.add;
+      per_op "mul" 1_000_000 Q.mul;
+      per_op "compare" 1_000_000 (fun a b -> Q.of_int (Q.compare a b));
+      ( "sum500",
+        (Gc.compact ();
+         let t0 = Unix.gettimeofday () in
+         for _ = 1 to 20 do
+           ignore
+             (Sys.opaque_identity
+                (Q.sum (List.init 500 (fun i -> Q.of_ints 1 (i + 1)))))
+         done;
+         (Unix.gettimeofday () -. t0) /. 20. *. 1e9) );
+    ]
+  in
+  let opt_two_n = 1200 in
+  let fig3_big = A.round_robin_family ~n:opt_two_n in
+  ignore (Crs_algorithms.Opt_two.makespan fig3_big) (* warm-up *);
+  let opt_two_s =
+    time_min ~reps:3 (fun () -> Crs_algorithms.Opt_two.makespan fig3_big)
+  in
+  let brute_n = 800 in
+  let fig3_small = A.round_robin_family ~n:brute_n in
+  let brute_s =
+    time_min ~reps:3 (fun () ->
+        Crs_algorithms.Brute_force.makespan ~node_limit:20_000_000 fig3_small)
+  in
+  (ops, opt_two_n, opt_two_s, brute_n, brute_s)
+
+let num_json ops opt_two_n opt_two_s brute_n brute_s =
+  Printf.sprintf
+    "{%s,\"opt_two_n\":%d,\"opt_two_s\":%.6f,\"brute_n\":%d,\"brute_s\":%.6f}"
+    (String.concat ","
+       (List.map (fun (name, ns) -> Printf.sprintf "\"%s_ns\":%.2f" name ns) ops))
+    opt_two_n opt_two_s brute_n brute_s
+
+let exp_num ?(mode = `Run) () =
+  banner "num" "exact-rational number layer (two-tier small/bigint fast path)"
+    "no measured claim; gate: >= 2x end-to-end Opt_two on the Figure-3 family \
+     vs the pre-change baseline, exactness pinned by a differential suite";
+  match mode with
+  | `Check ->
+    let t0 = Unix.gettimeofday () in
+    let outcome = Crs_num.Check.run ~ops:10_000 ~seed:2024 () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "differential check: %s in %.3fs (budget 1s)\n"
+      (Crs_num.Check.describe outcome) dt;
+    if not (Crs_num.Check.ok outcome) || dt >= 1.0 then exit 1
+  | (`Record | `Run) as mode -> (
+    let ops, opt_two_n, opt_two_s, brute_n, brute_s = num_measure () in
+    print_string
+      (T.render
+         ~header:[ "operation"; "ns/op (small operands)" ]
+         (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) ops));
+    Printf.printf "end-to-end: opt_two fig3 n=%d %.3fs | brute_force fig3 n=%d %.3fs\n"
+      opt_two_n opt_two_s brute_n brute_s;
+    match mode with
+    | `Record ->
+      Out_channel.with_open_text num_baseline_path (fun oc ->
+          Out_channel.output_string oc
+            (num_json ops opt_two_n opt_two_s brute_n brute_s ^ "\n"));
+      Printf.printf "recorded pre-change baseline to %s\n" num_baseline_path
+    | `Run ->
+      let outcome = Crs_num.Check.run ~ops:10_000 ~seed:2024 () in
+      Printf.printf "differential check: %s\n" (Crs_num.Check.describe outcome);
+      let baseline =
+        In_channel.with_open_text num_baseline_path In_channel.input_all
+      in
+      let field key =
+        match json_number_field baseline key with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "%s: missing %s" num_baseline_path key)
+      in
+      let b_opt_two = field "opt_two_s" and b_brute = field "brute_s" in
+      let opt_two_speedup = b_opt_two /. Float.max opt_two_s 1e-9 in
+      let brute_speedup = b_brute /. Float.max brute_s 1e-9 in
+      let gate = 2.0 in
+      let gate_met = opt_two_speedup >= gate in
+      let op_line (name, ns) =
+        let base = field (name ^ "_ns") in
+        Printf.sprintf
+          "\"%s\":{\"now_ns\":%.2f,\"baseline_ns\":%.2f,\"speedup\":%.2f}" name ns
+          base (base /. Float.max ns 1e-9)
+      in
+      let json =
+        Printf.sprintf
+          "{\"ops\":{%s},\"opt_two_n\":%.0f,\"opt_two_s\":%.6f,\
+           \"opt_two_baseline_s\":%.6f,\"opt_two_speedup\":%.4f,\"brute_n\":%.0f,\
+           \"brute_s\":%.6f,\"brute_baseline_s\":%.6f,\"brute_speedup\":%.4f,\
+           \"differential_ops\":%d,\"differential_ok\":%b,\"gate\":%.1f,\
+           \"gate_met\":%b}\n"
+          (String.concat "," (List.map op_line ops))
+          (field "opt_two_n") opt_two_s b_opt_two opt_two_speedup (field "brute_n")
+          brute_s b_brute brute_speedup outcome.Crs_num.Check.ops
+          (Crs_num.Check.ok outcome) gate gate_met
+      in
+      Out_channel.with_open_text "BENCH_num.json" (fun oc ->
+          Out_channel.output_string oc json);
+      Printf.printf
+        "speedup vs pre-change baseline: opt_two %.2fx, brute_force %.2fx (gate \
+         %.1fx on opt_two: %s)\n"
+        opt_two_speedup brute_speedup gate
+        (if gate_met then "met" else "NOT MET");
+      Printf.printf "wrote BENCH_num.json\n";
+      assert (Crs_num.Check.ok outcome);
+      assert gate_met)
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -901,11 +1079,20 @@ let experiments =
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
     ("campaign", exp_campaign); ("registry", exp_registry);
+    ("num", fun () -> exp_num ());
   ]
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "micro" :: _ -> micro ()
+  | _ :: "num" :: rest ->
+    let mode =
+      match rest with
+      | "--check" :: _ -> `Check
+      | "--record-baseline" :: _ -> `Record
+      | _ -> `Run
+    in
+    exp_num ~mode ()
   | _ :: id :: _ -> (
     match List.assoc_opt id experiments with
     | Some f -> f ()

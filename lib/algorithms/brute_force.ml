@@ -1,7 +1,37 @@
 module Q = Crs_num.Rational
 open Crs_core
 
-let makespan ?(node_limit = 2_000_000) instance =
+(* Memo keys are the DFS state: next-job indices and remaining
+   requirements per processor. Keyed hashing through [Rational.hash] /
+   [Rational.equal] replaces the old polymorphic hash of
+   [(int list * Q.t list)]: no list conversion per probe, and no
+   dependence of the hash on the rationals' internal representation
+   (the two-tier split would otherwise silently change bucket
+   placement semantics). The arrays are never mutated after a node is
+   entered — children operate on copies — so they are safe to store. *)
+module Key = struct
+  type t = int array * Q.t array
+
+  let equal (ja, va) (jb, vb) =
+    let len = Array.length ja in
+    len = Array.length jb
+    && (let rec go i =
+          i >= len || (ja.(i) = jb.(i) && Q.equal va.(i) vb.(i) && go (i + 1))
+        in
+        go 0)
+
+  let hash (j, v) =
+    let h = ref 17 in
+    Array.iter (fun x -> h := ((!h * 31) + x) land max_int) j;
+    Array.iter (fun x -> h := ((!h * 31) + Q.hash x) land max_int) v;
+    !h
+end
+
+module Memo = Hashtbl.Make (Key)
+
+type counters = { visited : int; memo_hits : int; memo_misses : int }
+
+let solve ?(node_limit = 2_000_000) instance =
   if not (Instance.is_unit_size instance) then
     invalid_arg "Brute_force: unit-size jobs only";
   let m = Instance.m instance in
@@ -18,7 +48,8 @@ let makespan ?(node_limit = 2_000_000) instance =
   in
   let best = ref (Greedy_balance.makespan instance) in
   let visited = ref 0 in
-  let memo : (int list * Q.t list, int) Hashtbl.t = Hashtbl.create 4096 in
+  let memo_hits = ref 0 and memo_misses = ref 0 in
+  let memo : int Memo.t = Memo.create 4096 in
   let rec dfs t (j : int array) (v : Q.t array) =
     Crs_util.Fuel.tick ();
     incr visited;
@@ -38,14 +69,18 @@ let makespan ?(node_limit = 2_000_000) instance =
       let lb_work = Q.ceil_int work in
       let lb_jobs = List.fold_left (fun acc i -> max acc (n i - j.(i))) 0 actives in
       if t + max lb_work lb_jobs < !best then begin
-        let key = (Array.to_list j, Array.to_list v) in
+        let key = (j, v) in
         let skip =
-          match Hashtbl.find_opt memo key with
-          | Some t' when t' <= t -> true
-          | _ -> false
+          match Memo.find_opt memo key with
+          | Some t' when t' <= t ->
+            incr memo_hits;
+            true
+          | _ ->
+            incr memo_misses;
+            false
         in
         if not skip then begin
-          Hashtbl.replace memo key t;
+          Memo.replace memo key t;
           (* Enumerate finish sets (non-empty, cost <= 1) and the optional
              partial investment of the leftover. *)
           let arr = Array.of_list actives in
@@ -94,4 +129,7 @@ let makespan ?(node_limit = 2_000_000) instance =
   let j0 = Array.make m 0 in
   let v0 = Array.init m (fun i -> req i 0) in
   dfs 0 j0 v0;
-  !best
+  ( !best,
+    { visited = !visited; memo_hits = !memo_hits; memo_misses = !memo_misses } )
+
+let makespan ?node_limit instance = fst (solve ?node_limit instance)

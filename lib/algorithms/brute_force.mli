@@ -6,7 +6,15 @@
     cross-validate {!Opt_two} and {!Opt_config}; exponential, intended for
     tiny instances only. *)
 
-val makespan : ?node_limit:int -> Crs_core.Instance.t -> int
-(** Optimal makespan. @raise Invalid_argument on non-unit sizes.
+type counters = { visited : int; memo_hits : int; memo_misses : int }
+(** Search effort: nodes entered, and outcomes of the (keyed) memo-table
+    probes at nodes that survived the lower-bound pruning. *)
+
+val solve : ?node_limit:int -> Crs_core.Instance.t -> int * counters
+(** Optimal makespan together with search counters.
+    @raise Invalid_argument on non-unit sizes.
     @raise Failure when more than [node_limit] (default 2_000_000) search
     nodes are visited. *)
+
+val makespan : ?node_limit:int -> Crs_core.Instance.t -> int
+(** [fst (solve instance)]. *)

@@ -24,17 +24,28 @@ module Counters = struct
     states_expanded : int;
     dp_relaxations : int;
     configs_enumerated : int;
+    memo_hits : int;
+    memo_misses : int;
     fuel_ticks : int;
   }
 
   let zero =
-    { states_expanded = 0; dp_relaxations = 0; configs_enumerated = 0; fuel_ticks = 0 }
+    {
+      states_expanded = 0;
+      dp_relaxations = 0;
+      configs_enumerated = 0;
+      memo_hits = 0;
+      memo_misses = 0;
+      fuel_ticks = 0;
+    }
 
   let to_assoc c =
     [
       ("states_expanded", c.states_expanded);
       ("dp_relaxations", c.dp_relaxations);
       ("configs_enumerated", c.configs_enumerated);
+      ("memo_hits", c.memo_hits);
+      ("memo_misses", c.memo_misses);
       ("fuel_ticks", c.fuel_ticks);
     ]
 end
@@ -208,8 +219,18 @@ module Brute_force_solver : SOLVER = struct
   let witness = false
 
   let solve instance =
-    let makespan = Brute_force.makespan instance in
-    { makespan; schedule = None; counters = Counters.zero }
+    let makespan, c = Brute_force.solve instance in
+    {
+      makespan;
+      schedule = None;
+      counters =
+        {
+          Counters.zero with
+          states_expanded = c.Brute_force.visited;
+          memo_hits = c.Brute_force.memo_hits;
+          memo_misses = c.Brute_force.memo_misses;
+        };
+    }
 end
 
 let policy_table =

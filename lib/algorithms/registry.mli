@@ -44,9 +44,11 @@ end
     differ in meaning. *)
 module Counters : sig
   type t = {
-    states_expanded : int;  (** DP cells / PQ pops / surviving configs *)
+    states_expanded : int;  (** DP cells / PQ pops / search nodes / configs *)
     dp_relaxations : int;  (** transitions examined *)
     configs_enumerated : int;  (** configurations generated (Opt_config) *)
+    memo_hits : int;  (** memo-table probes answered (Brute_force) *)
+    memo_misses : int;  (** memo-table probes that missed (Brute_force) *)
     fuel_ticks : int;  (** {!Crs_util.Fuel.ticks} delta across the solve *)
   }
 

@@ -29,7 +29,12 @@ val shutdown : t -> unit
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} — even on exceptions. *)
 
-val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?chunk:int -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map: [map ~domains f a] equals
-    [Array.map f a] element-for-element, whatever the pool size.
-    Re-raises the first task exception after all tasks settle. *)
+    [Array.map f a] element-for-element, whatever the pool size or
+    chunking. [chunk] (default 1) items are submitted per pool task, so
+    cheap items pay the queue-mutex round-trip once per slice instead of
+    once per item; slices are contiguous, keeping results in input
+    order. Re-raises the first task exception after all tasks settle
+    (items sharing a chunk with a raising item may be skipped).
+    @raise Invalid_argument when [chunk < 1]. *)

@@ -107,7 +107,13 @@ let run ?(domains = 1) spec =
   | Ok spec ->
     let items = Spec.expand spec in
     if domains <= 1 then Array.map (run_item spec) items
-    else Pool.map ~domains (run_item spec) items
+    else begin
+      (* Chunk so each domain sees a handful of slices (load balancing
+         across uneven item costs) rather than one mutex round-trip per
+         item. *)
+      let chunk = Stdlib.max 1 (Array.length items / (domains * 8)) in
+      Pool.map ~chunk ~domains (run_item spec) items
+    end
 
 let compare_records ?(names = default_names) ?(baseline = Spec.Exact) ?fuel
     ~family instance =

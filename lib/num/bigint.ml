@@ -49,6 +49,16 @@ let compare a b =
   else a.sign * Natural.compare a.mag b.mag
 
 let equal a b = compare a b = 0
+
+let compare_int t (m : int) =
+  (* Order against a machine int of either sign without allocating.
+     [m = min_int] needs the precomputed magnitude because [-min_int]
+     overflows. *)
+  if m > 0 then if t.sign <= 0 then -1 else Natural.compare_int t.mag m
+  else if m = 0 then t.sign
+  else if t.sign >= 0 then 1
+  else if m = min_int then Natural.compare min_int_mag t.mag
+  else -Natural.compare_int t.mag (-m)
 let hash t = (t.sign * 1_000_003) lxor Natural.hash t.mag
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

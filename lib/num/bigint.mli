@@ -39,6 +39,11 @@ val is_zero : t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val compare_int : t -> int -> int
+(** [compare_int t m] orders [t] against a machine int (either sign,
+    including [min_int]) without allocating. *)
+
 val hash : t -> int
 val min : t -> t -> t
 val max : t -> t -> t

@@ -27,39 +27,29 @@ let is_canonical n =
 let num_limbs = Array.length
 
 let of_int n =
+  (* A 63-bit int spans at most three 30-bit limbs, so the general loop
+     is not needed; single-limb values (the overwhelmingly common case
+     in the rational small tier) allocate exactly one two-word array. *)
   if n < 0 then invalid_arg "Natural.of_int: negative";
   if n = 0 then zero
-  else begin
-    let rec count acc k = if k = 0 then acc else count (acc + 1) (k lsr base_bits) in
-    let limbs = count 0 n in
-    let a = Array.make limbs 0 in
-    let rec fill i k =
-      if k <> 0 then begin
-        a.(i) <- k land mask;
-        fill (i + 1) (k lsr base_bits)
-      end
-    in
-    fill 0 n;
-    a
-  end
+  else if n < base then [| n |]
+  else if n lsr (2 * base_bits) = 0 then [| n land mask; n lsr base_bits |]
+  else [| n land mask; (n lsr base_bits) land mask; n lsr (2 * base_bits) |]
 
 let one = of_int 1
 let two = of_int 2
 let is_one n = Array.length n = 1 && n.(0) = 1
 
-let bit_length n =
-  let limbs = Array.length n in
-  if limbs = 0 then 0
-  else begin
-    let top = n.(limbs - 1) in
-    let rec bits acc k = if k = 0 then acc else bits (acc + 1) (k lsr 1) in
-    ((limbs - 1) * base_bits) + bits 0 top
-  end
-
 let to_int_opt n =
-  (* An OCaml int holds 62 value bits plus sign. *)
-  if bit_length n > 62 then None
-  else Some (Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) n 0)
+  (* An OCaml int holds 62 value bits plus sign: up to two full limbs,
+     or three when the top limb uses only the remaining two bits. *)
+  match Array.length n with
+  | 0 -> Some 0
+  | 1 -> Some n.(0)
+  | 2 -> Some ((n.(1) lsl base_bits) lor n.(0))
+  | 3 when n.(2) lsr 2 = 0 ->
+    Some ((n.(2) lsl (2 * base_bits)) lor (n.(1) lsl base_bits) lor n.(0))
+  | _ -> None
 
 let to_int_exn n =
   match to_int_opt n with
@@ -79,6 +69,18 @@ let compare a b =
   end
 
 let equal a b = compare a b = 0
+
+let compare_int n (m : int) =
+  (* Like [compare n (of_int m)] but with no allocation: the limb array
+     is read in place. Anything past three limbs exceeds the int range. *)
+  if m < 0 then invalid_arg "Natural.compare_int: negative";
+  match Array.length n with
+  | 0 -> Stdlib.compare 0 m
+  | 1 -> Stdlib.compare n.(0) m
+  | 2 -> Stdlib.compare ((n.(1) lsl base_bits) lor n.(0)) m
+  | 3 when n.(2) lsr 2 = 0 ->
+    Stdlib.compare ((n.(2) lsl (2 * base_bits)) lor (n.(1) lsl base_bits) lor n.(0)) m
+  | _ -> 1
 
 let hash n = Array.fold_left (fun h limb -> (h * 31 + limb) land max_int) 17 n
 
@@ -305,6 +307,39 @@ let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Binary (Stein) gcd on machine ints: shifts and subtractions only, no
+   division. This is the gcd used by the rational small tier, where both
+   operands are at most 2^31 - 1, so intermediate values never overflow. *)
+let gcd_int a b =
+  if a < 0 || b < 0 then invalid_arg "Natural.gcd_int: negative";
+  if a = 0 then b
+  else if b = 0 then a
+  else begin
+    let a = ref a and b = ref b in
+    let shift = ref 0 in
+    while (!a lor !b) land 1 = 0 do
+      a := !a lsr 1;
+      b := !b lsr 1;
+      incr shift
+    done;
+    while !a land 1 = 0 do
+      a := !a lsr 1
+    done;
+    (* Invariant: a is odd. *)
+    while !b <> 0 do
+      while !b land 1 = 0 do
+        b := !b lsr 1
+      done;
+      if !a > !b then begin
+        let t = !a in
+        a := !b;
+        b := t
+      end;
+      b := !b - !a
+    done;
+    !a lsl !shift
+  end
 
 let lcm a b =
   if is_zero a || is_zero b then zero else mul (div a (gcd a b)) b

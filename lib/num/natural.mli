@@ -42,6 +42,11 @@ val is_zero : t -> bool
 val is_one : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val compare_int : t -> int -> int
+(** [compare_int n m] orders [n] against a non-negative machine int
+    without allocating. @raise Invalid_argument if [m < 0]. *)
+
 val hash : t -> int
 
 (** {1 Arithmetic} *)
@@ -63,6 +68,11 @@ val rem : t -> t -> t
 
 val gcd : t -> t -> t
 (** Greatest common divisor; [gcd 0 n = n]. *)
+
+val gcd_int : int -> int -> int
+(** Binary (Stein) gcd on non-negative machine ints; [gcd_int 0 n = n].
+    Division-free, used by the {!Rational} small tier.
+    @raise Invalid_argument on negative arguments. *)
 
 val lcm : t -> t -> t
 

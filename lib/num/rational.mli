@@ -101,3 +101,16 @@ val ceil_int : t -> int
 val clamp : lo:t -> hi:t -> t -> t
 val in_unit_interval : t -> bool
 (** [0 <= x <= 1]. *)
+
+(** {1 Internals exposed for testing and benchmarking} *)
+
+val small_bound : int
+(** Largest numerator magnitude / denominator the immediate small tier
+    holds; values reduce into the small tier whenever both parts fit. *)
+
+val is_small : t -> bool
+(** The value is currently held in the immediate (native-int) tier. *)
+
+val is_canonical : t -> bool
+(** Representation invariant: positive denominator, coprime parts, zero
+    as 0/1, and the small tier used whenever the value fits it. *)

@@ -69,7 +69,53 @@ let test_natural_canonical () =
     (N.is_canonical (N.sub (N.of_int 5) (N.of_int 5)));
   check_int "limbs of zero" 0 (N.num_limbs N.zero)
 
+let test_natural_gcd_int () =
+  check_int "gcd_int(12,18)" 6 (N.gcd_int 12 18);
+  check_int "gcd_int(0,n)" 7 (N.gcd_int 0 7);
+  check_int "gcd_int(n,0)" 7 (N.gcd_int 7 0);
+  check_int "coprime" 1 (N.gcd_int 17 1024);
+  check_int "shared powers of two" 8 (N.gcd_int 8 24);
+  check_int "equal args" max_int (N.gcd_int max_int max_int);
+  Alcotest.check_raises "negative" (Invalid_argument "Natural.gcd_int: negative")
+    (fun () -> ignore (N.gcd_int (-1) 2))
+
+let test_natural_int_boundaries () =
+  (* Limb boundaries of the of_int/to_int_opt fast paths: one, two and
+     three limbs, including the top-limb capacity edge at 2^60. *)
+  List.iter
+    (fun n ->
+      check_int "roundtrip" n (N.to_int_exn (N.of_int n));
+      check_str "same digits" (string_of_int n) (N.to_string (N.of_int n));
+      check_bool "canonical" true (N.is_canonical (N.of_int n)))
+    [ 0; 1; (1 lsl 30) - 1; 1 lsl 30; (1 lsl 60) - 1; 1 lsl 60; max_int ];
+  check_bool "beyond int range" true
+    (N.to_int_opt (N.add (N.of_int max_int) N.one) = None)
+
+let test_natural_compare_int () =
+  List.iter
+    (fun (n, m) ->
+      check_int
+        (Printf.sprintf "compare_int %s %d" (N.to_string n) m)
+        (N.compare n (N.of_int m))
+        (N.compare_int n m))
+    [
+      (N.zero, 0); (N.zero, 5); (N.of_int 5, 5); (N.of_int 6, 5);
+      (N.of_int 5, 6);
+      (N.of_int max_int, max_int); (N.of_int max_int, max_int - 1);
+      (N.of_int ((1 lsl 60) - 1), 1 lsl 60);
+      (N.of_int (1 lsl 60), (1 lsl 60) - 1);
+    ];
+  check_int "beyond int range is greater" 1
+    (N.compare_int (N.add (N.of_int max_int) N.one) max_int);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Natural.compare_int: negative") (fun () ->
+      ignore (N.compare_int N.zero (-1)))
+
 let nat_pair = QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+
+let prop_natural_gcd_int_matches =
+  Helpers.qcheck_case "binary gcd_int matches limb-array gcd" nat_pair
+    (fun (a, b) -> N.gcd_int a b = N.to_int_exn (N.gcd (N.of_int a) (N.of_int b)))
 
 let prop_natural_matches_int =
   Helpers.qcheck_case "Natural add/mul/divmod match int" nat_pair (fun (a, b) ->
@@ -155,6 +201,19 @@ let test_bigint_pow () =
   check_int "(-2)^4" 16 (Z.to_int_exn (Z.pow (Z.of_int (-2)) 4));
   check_int "0^0" 1 (Z.to_int_exn (Z.pow Z.zero 0))
 
+let test_bigint_compare_int () =
+  let big = Z.of_string "123456789012345678901234567890" in
+  check_int "pos big vs int" 1 (Z.compare_int big 42);
+  check_int "neg big vs pos int" (-1) (Z.compare_int (Z.neg big) 42);
+  check_int "neg big vs neg int" (-1) (Z.compare_int (Z.neg big) (-42));
+  check_int "equal negative" 0 (Z.compare_int (Z.of_int (-7)) (-7));
+  check_int "zero" 0 (Z.compare_int Z.zero 0);
+  check_int "vs max_int" (-1) (Z.compare_int (Z.of_int (max_int - 1)) max_int);
+  check_int "min_int equal" 0 (Z.compare_int (Z.of_int min_int) min_int);
+  check_int "below min_int" (-1)
+    (Z.compare_int (Z.sub (Z.of_int min_int) Z.one) min_int);
+  check_int "above min_int" 1 (Z.compare_int (Z.of_int (min_int + 1)) min_int)
+
 let int_pair = QCheck2.Gen.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
 
 let prop_bigint_ring =
@@ -164,6 +223,10 @@ let prop_bigint_ring =
       && Z.to_int_exn (Z.sub za zb) = a - b
       && Z.to_int_exn (Z.mul za zb) = a * b
       && Z.compare za zb = compare a b)
+
+let prop_bigint_compare_int =
+  Helpers.qcheck_case "Bigint.compare_int matches compare" int_pair
+    (fun (a, b) -> Z.compare_int (Z.of_int a) b = compare a b)
 
 (* ---------- Rational ---------- *)
 
@@ -244,6 +307,113 @@ let prop_rational_floor_ceil =
       let f = Q.of_bigint (Q.floor x) and c = Q.of_bigint (Q.ceil x) in
       Q.(f <= x) && Q.(x <= c) && Q.(Q.sub c f <= Q.one))
 
+(* ---------- two-tier representation ---------- *)
+
+let test_rational_tiers () =
+  check_bool "paper fractions are small" true (Q.is_small (Q.of_ints 7 12));
+  check_bool "constants are small" true
+    (List.for_all Q.is_small [ Q.zero; Q.one; Q.two; Q.half; Q.minus_one ]);
+  let big = Q.make (Z.of_string "123456789012345678901") Z.one in
+  check_bool "oversized integer spills" false (Q.is_small big);
+  check_bool "spilled value canonical" true (Q.is_canonical big);
+  (* Spill through arithmetic, then renormalize back into the small
+     tier: operations must demote whenever the reduced result fits. *)
+  let sq = Q.mul (Q.of_int max_int) (Q.of_int max_int) in
+  check_bool "max_int^2 spills" false (Q.is_small sq);
+  let back = Q.div sq sq in
+  check_bool "quotient renormalizes to small" true (Q.is_small back);
+  check_bool "quotient is one" true (Q.is_one back);
+  (* Demotion boundary: exactly small_bound stays small, one above
+     spills, and subtracting brings it back. *)
+  let at = Q.of_int Q.small_bound and beyond = Q.of_int (Q.small_bound + 1) in
+  check_bool "at bound is small" true (Q.is_small at);
+  check_bool "beyond bound spills" false (Q.is_small beyond);
+  check_bool "beyond bound canonical" true (Q.is_canonical beyond);
+  check_bool "difference renormalizes" true
+    (Q.is_small (Q.sub beyond Q.one) && Q.equal (Q.sub beyond Q.one) at);
+  (* inv never changes tier *)
+  check_bool "inv of small is small" true (Q.is_small (Q.inv (Q.of_ints 3 7)));
+  check_bool "inv of big stays big" false (Q.is_small (Q.inv big))
+
+let test_rational_min_int_edges () =
+  (* min_int cannot be negated in int arithmetic; these must route
+     through the bigint path and still come out canonical. *)
+  check_str "min_int/1" (string_of_int min_int)
+    (Q.to_string (Q.of_ints min_int 1));
+  check_str "min_int/min_int" "1" (Q.to_string (Q.of_ints min_int min_int));
+  check_str "1/min_int" "-1/4611686018427387904"
+    (Q.to_string (Q.of_ints 1 min_int));
+  check_str "min_int/2" "-2305843009213693952"
+    (Q.to_string (Q.of_ints min_int 2));
+  List.iter
+    (fun q -> check_bool "canonical" true (Q.is_canonical q))
+    [
+      Q.of_ints min_int 1; Q.of_ints min_int min_int; Q.of_ints 1 min_int;
+      Q.of_ints min_int 3; Q.of_ints max_int min_int;
+    ];
+  (* A small-tier add whose cross-product sum lands exactly on min_int:
+     -(2^31-1)^2 - (2^32-1) = -2^62, using 2^32-1 = (2^16-1)(2^16+1).
+     min_int fits the int, but the small tier cannot take its absolute
+     value, so normalization must detour through the bigint path. *)
+  let x = Q.of_ints (-((1 lsl 31) - 1)) ((1 lsl 16) - 1)
+  and y = Q.of_ints (-((1 lsl 16) + 1)) ((1 lsl 31) - 1) in
+  let s = Q.add x y in
+  check_bool "min_int-sum canonical" true (Q.is_canonical s);
+  check_str "min_int-sum" "-4611686018427387904/140735340806145"
+    (Q.to_string s)
+
+let test_rational_parse_robustness () =
+  (* negative and signed decimals *)
+  check_str "neg decimal" "-5/4" (Q.to_string (Q.of_string "-1.25"));
+  check_str "neg decimal, no int digits" "-1/2" (Q.to_string (Q.of_string "-.5"));
+  check_str "plus decimal" "1/2" (Q.to_string (Q.of_string "+0.5"));
+  (* whitespace-padded forms *)
+  check_str "padded fraction" "-7/9" (Q.to_string (Q.of_string " -7 / 9 "));
+  check_str "padded integer" "42" (Q.to_string (Q.of_string "  42  "));
+  check_str "padded decimal" "-5/4" (Q.to_string (Q.of_string " -1.25 "));
+  (* bare signs and empty input raise cleanly *)
+  List.iter
+    (fun s ->
+      Alcotest.check_raises
+        (Printf.sprintf "rejects %S" s)
+        (Invalid_argument "Rational.of_string: empty or bare sign")
+        (fun () -> ignore (Q.of_string s)))
+    [ ""; "+"; "-"; "   " ]
+
+let test_rational_string_roundtrip_spill () =
+  (* to_string/of_string round trips across the spill boundary: values
+     whose parts sit at or just past the small tier and the int range. *)
+  let cases =
+    [
+      Q.of_ints Q.small_bound 1;
+      Q.of_ints (Q.small_bound + 1) 1;
+      Q.of_ints (-Q.small_bound - 1) 3;
+      Q.of_ints Q.small_bound (Q.small_bound + 1);
+      Q.of_ints max_int (max_int - 2);
+      Q.of_ints (-max_int) (max_int - 1);
+      Q.of_ints min_int 3;
+      Q.of_ints 1 max_int;
+      Q.of_string "4611686018427387903.5";
+      Q.make (Z.of_string "-123456789012345678901234567890")
+        (Z.of_string "987654321098765432109876543210");
+    ]
+  in
+  List.iter
+    (fun q ->
+      let s = Q.to_string q in
+      check_bool (Printf.sprintf "roundtrip %s" s) true
+        (Q.equal q (Q.of_string s));
+      check_bool (Printf.sprintf "canonical %s" s) true (Q.is_canonical q))
+    cases
+
+(* The same differential sampler as `bench num --check`: 10k random
+   operations compared against a naive pure-bigint reference, biased
+   toward the representation's fault lines (small values, the spill
+   bound, max_int, multi-limb). *)
+let test_rational_differential () =
+  let outcome = Crs_num.Check.run ~ops:10_000 ~seed:2024 () in
+  check_bool (Crs_num.Check.describe outcome) true (Crs_num.Check.ok outcome)
+
 let suite =
   [
     Alcotest.test_case "natural: int roundtrip" `Quick test_natural_roundtrip;
@@ -253,6 +423,11 @@ let suite =
     Alcotest.test_case "natural: gcd/lcm" `Quick test_natural_gcd_lcm;
     Alcotest.test_case "natural: pow/shift" `Quick test_natural_pow_shift;
     Alcotest.test_case "natural: canonical form" `Quick test_natural_canonical;
+    Alcotest.test_case "natural: gcd_int" `Quick test_natural_gcd_int;
+    Alcotest.test_case "natural: int fast-path boundaries" `Quick
+      test_natural_int_boundaries;
+    Alcotest.test_case "natural: compare_int" `Quick test_natural_compare_int;
+    prop_natural_gcd_int_matches;
     prop_natural_matches_int;
     prop_natural_mul_assoc;
     prop_natural_divmod_big;
@@ -262,12 +437,24 @@ let suite =
     Alcotest.test_case "bigint: euclidean division" `Quick test_bigint_euclidean;
     Alcotest.test_case "bigint: strings" `Quick test_bigint_strings;
     Alcotest.test_case "bigint: pow" `Quick test_bigint_pow;
+    Alcotest.test_case "bigint: compare_int" `Quick test_bigint_compare_int;
     prop_bigint_ring;
+    prop_bigint_compare_int;
     Alcotest.test_case "rational: normalization" `Quick test_rational_normalization;
     Alcotest.test_case "rational: parsing" `Quick test_rational_parse;
     Alcotest.test_case "rational: rounding" `Quick test_rational_rounding;
     Alcotest.test_case "rational: comparisons" `Quick test_rational_compare;
     Alcotest.test_case "rational: to_float" `Quick test_rational_to_float;
+    Alcotest.test_case "rational: two-tier representation" `Quick
+      test_rational_tiers;
+    Alcotest.test_case "rational: min_int edges" `Quick
+      test_rational_min_int_edges;
+    Alcotest.test_case "rational: parse robustness" `Quick
+      test_rational_parse_robustness;
+    Alcotest.test_case "rational: spill-boundary string roundtrip" `Quick
+      test_rational_string_roundtrip_spill;
+    Alcotest.test_case "rational: differential vs bigint reference" `Quick
+      test_rational_differential;
     prop_rational_field;
     prop_rational_ordering;
     prop_rational_floor_ceil;

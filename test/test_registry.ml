@@ -166,8 +166,20 @@ let test_counters_populated () =
     (cfg.R.Counters.configs_enumerated > 0);
   Alcotest.(check bool) "fuel-aware solvers report ticks" true
     (cfg.R.Counters.fuel_ticks > 0);
+  let bf = (out R.Names.brute_force).R.counters in
+  Alcotest.(check bool) "brute-force visits nodes" true
+    (bf.R.Counters.states_expanded > 0);
+  (* Instances that greedy solves optimally are pruned at the root and
+     never reach the memo probe, so use the Figure-5 family, where
+     greedy is adversarially bad and brute force genuinely searches. *)
+  let fig5 = Crs_generators.Adversarial.greedy_balance_family ~m:3 ~blocks:2 () in
+  let c = (R.solve (R.find_exn R.Names.brute_force) fig5).R.counters in
+  Alcotest.(check bool) "brute-force reports memo hits" true
+    (c.R.Counters.memo_hits > 0);
+  Alcotest.(check bool) "brute-force reports memo misses" true
+    (c.R.Counters.memo_misses > 0);
   Alcotest.(check int) "assoc order is stable"
-    4 (List.length (R.Counters.to_assoc dp))
+    6 (List.length (R.Counters.to_assoc dp))
 
 let suite =
   [
