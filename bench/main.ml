@@ -843,6 +843,54 @@ let exp_registry () =
   Printf.printf "wrote BENCH_registry.json\n";
   assert (overhead_pct <= budget_pct)
 
+(* ---------- fuzz: certifier throughput + gate ---------- *)
+
+let exp_fuzz () =
+  banner "fuzz" "independent schedule-certifier throughput"
+    "Certify.check re-validates every greedy-balance witness from scratch";
+  let spec = { Crs_campaign.Spec.default with m = 4; n = 6; granularity = 12 } in
+  let count = 200 in
+  let solver = R.find_exn R.Names.greedy_balance in
+  let witnesses =
+    Array.init count (fun i ->
+        let instance = Crs_campaign.Spec.instance spec ~seed:(i + 1) in
+        let out = R.solve solver instance in
+        match out.R.schedule with
+        | Some s -> (instance, s, out.R.makespan)
+        | None -> failwith "greedy-balance returned no witness")
+  in
+  let certify_all () =
+    Array.for_all
+      (fun (instance, s, claimed) ->
+        match Crs_fuzz.Certify.check instance s ~claimed with
+        | Ok _ -> true
+        | Error _ -> false)
+      witnesses
+  in
+  ignore (certify_all ()) (* warm-up *);
+  let rounds = 5 in
+  let all_certified = ref true in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    all_certified := certify_all () && !all_certified
+  done;
+  let certify_s = Unix.gettimeofday () -. t0 in
+  let certified = count * rounds in
+  let certified_per_s = float_of_int certified /. certify_s in
+  Printf.printf
+    "certified %d witnesses (%d instances x %d rounds) in %.3fs: %.0f/s, all_certified=%b\n"
+    certified count rounds certify_s certified_per_s !all_certified;
+  let json =
+    Printf.sprintf
+      "{\"instances\":%d,\"rounds\":%d,\"certify_s\":%.6f,\
+       \"certified_per_s\":%.1f,\"all_certified\":%b}\n"
+      count rounds certify_s certified_per_s !all_certified
+  in
+  Out_channel.with_open_text "BENCH_fuzz.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_fuzz.json\n";
+  assert !all_certified
+
 (* ---------- num: number-layer throughput + gate ---------- *)
 
 (* Minimal field extractor for the flat one-line JSON files this harness
@@ -1079,7 +1127,7 @@ let experiments =
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
     ("campaign", exp_campaign); ("registry", exp_registry);
-    ("num", fun () -> exp_num ());
+    ("fuzz", exp_fuzz); ("num", fun () -> exp_num ());
   ]
 
 let () =

@@ -360,6 +360,206 @@ let campaign_cmd =
       const run $ family $ m $ n $ granularity $ seeds $ algos $ baseline $ fuel
       $ domains $ out)
 
+(* ---- fuzz / replay ---- *)
+
+let fuzz_cmd =
+  let oracles =
+    Arg.(value & opt_all string []
+         & info [ "oracle" ] ~docv:"NAME"
+             ~doc:("Oracle to run (repeatable); default all. One of: "
+                   ^ String.concat ", " Crs_fuzz.Oracle.names ^ "."))
+  in
+  let seed_range =
+    Arg.(value & opt string "1..50"
+         & info [ "seed-range" ] ~docv:"A..B"
+             ~doc:"Inclusive seed range; one instance per seed.")
+  in
+  let family =
+    Arg.(value & opt string "uniform"
+         & info [ "f"; "family" ] ~docv:"FAMILY"
+             ~doc:"Generator family: uniform, heavy-tailed, balanced.")
+  in
+  let m = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Number of processors.") in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Jobs per processor.") in
+  let granularity =
+    Arg.(value & opt int 10 & info [ "granularity" ] ~doc:"Requirement grid 1/g.")
+  in
+  let fuel =
+    Arg.(value & opt int 2_000_000
+         & info [ "fuel" ]
+             ~doc:"Per-seed work budget (solver ticks); 0 disables metering.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"K"
+             ~doc:"Domain-pool size; reports are byte-identical at any size.")
+  in
+  let shrink =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"Minimize every failing seed's instance before reporting it.")
+  in
+  let pin =
+    Arg.(value & opt (some string) None
+         & info [ "pin" ] ~docv:"DIR"
+             ~doc:"Save each (shrunken) counterexample as a corpus entry in \
+                   DIR with expect=\"fail\"; flip to \"pass\" once fixed.")
+  in
+  let run oracles seed_range family m n granularity fuel domains shrink pin =
+    let fam =
+      match Crs_campaign.Spec.family_of_string family with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "error: unknown family %s\n" family;
+        exit 1
+    in
+    let seed_lo, seed_hi =
+      let bad () =
+        Printf.eprintf "error: bad seed range %s (expected A..B with A <= B)\n"
+          seed_range;
+        exit 1
+      in
+      match String.index_opt seed_range '.' with
+      | Some i
+        when i + 1 < String.length seed_range && seed_range.[i + 1] = '.' -> (
+        match
+          ( int_of_string_opt (String.sub seed_range 0 i),
+            int_of_string_opt
+              (String.sub seed_range (i + 2) (String.length seed_range - i - 2))
+          )
+        with
+        | Some lo, Some hi when lo <= hi -> (lo, hi)
+        | _ -> bad ())
+      | _ -> bad ()
+    in
+    let selected =
+      match oracles with
+      | [] -> Crs_fuzz.Oracle.all
+      | names ->
+        List.map
+          (fun name ->
+            match Crs_fuzz.Oracle.find name with
+            | Some o -> o
+            | None ->
+              Printf.eprintf "error: unknown oracle %s (valid: %s)\n" name
+                (String.concat ", " Crs_fuzz.Oracle.names);
+              exit 1)
+          names
+    in
+    let config =
+      {
+        Crs_fuzz.Driver.family = fam;
+        m;
+        n;
+        granularity;
+        seed_lo;
+        seed_hi;
+        fuel = (if fuel = 0 then None else Some fuel);
+      }
+    in
+    let any_failure = ref false in
+    List.iter
+      (fun oracle ->
+        let report = Crs_fuzz.Driver.run ~domains config oracle in
+        print_string (Crs_fuzz.Driver.render report);
+        let failing = Crs_fuzz.Driver.failing_cases report in
+        if failing <> [] then any_failure := true;
+        if shrink then
+          List.iter
+            (fun (seed, _) ->
+              let minimized, stats =
+                Crs_fuzz.Driver.shrink_failure config oracle ~seed
+              in
+              let msg =
+                match oracle.Crs_fuzz.Oracle.check minimized with
+                | Error m -> m
+                | Ok () -> "(not reproducible without fuel metering)"
+              in
+              Printf.printf
+                "shrunk seed %d to %d jobs on %d processors (%d checks): %s\n%s"
+                seed
+                (Instance.total_jobs minimized)
+                (Instance.m minimized)
+                stats.Crs_fuzz.Shrink.checks msg
+                (Instance.to_string minimized);
+              match pin with
+              | None -> ()
+              | Some dir ->
+                let entry =
+                  Crs_fuzz.Corpus.make
+                    ~name:
+                      (Printf.sprintf "%s-seed%d" oracle.Crs_fuzz.Oracle.name
+                         seed)
+                    ~oracle:oracle.Crs_fuzz.Oracle.name
+                    ~expect:Crs_fuzz.Corpus.Fail
+                    ~note:
+                      (Printf.sprintf
+                         "shrunken counterexample from fuzz seed %d (%s)" seed
+                         (Crs_campaign.Spec.family_to_string fam))
+                    minimized
+                in
+                Printf.printf "pinned %s\n" (Crs_fuzz.Corpus.save ~dir entry))
+            failing)
+      selected;
+    if !any_failure then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Sweep differential/metamorphic oracles over seeded random instances."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs each selected oracle over one instance per seed on a \
+              domain pool with fuel-based timeouts. Reports are \
+              deterministic: the same seed range produces byte-identical \
+              output at any pool size. With --shrink, failing instances are \
+              greedily minimized (drop processors, drop jobs, round \
+              requirements toward {0, 1/2, 1}, shrink sizes); with --pin \
+              DIR, each counterexample is saved as a corpus entry for \
+              `crsched replay'. Exits 1 if any oracle failed.";
+         ])
+    Term.(
+      const run $ oracles $ seed_range $ family $ m $ n $ granularity $ fuel
+      $ domains $ shrink $ pin)
+
+let replay_cmd =
+  let dir =
+    Arg.(value & pos 0 string "data/corpus"
+         & info [] ~docv:"DIR" ~doc:"Corpus directory of *.json entries.")
+  in
+  let run dir =
+    let entries = Crs_fuzz.Corpus.load_dir dir in
+    if entries = [] then begin
+      Printf.eprintf "error: no corpus entries under %s\n" dir;
+      exit 1
+    end;
+    let failures = ref 0 in
+    List.iter
+      (fun (path, parsed) ->
+        match parsed with
+        | Error msg ->
+          incr failures;
+          Printf.printf "%-40s PARSE ERROR: %s\n" (Filename.basename path) msg
+        | Ok entry -> (
+          match Crs_fuzz.Corpus.replay entry with
+          | Ok () ->
+            Printf.printf "%-40s ok (oracle %s)\n" (Filename.basename path)
+              entry.Crs_fuzz.Corpus.oracle
+          | Error msg ->
+            incr failures;
+            Printf.printf "%-40s FAILED: %s\n" (Filename.basename path) msg))
+      entries;
+    Printf.printf "replayed %d entries, %d failure%s\n" (List.length entries)
+      !failures
+      (if !failures = 1 then "" else "s");
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay the pinned regression corpus (digests, seeds, oracles).")
+    Term.(const run $ dir)
+
 (* ---- render / graph ---- *)
 
 let render_cmd =
@@ -662,9 +862,9 @@ let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
   Cmd.group (Cmd.info "crsched" ~version:"1.0.0" ~doc)
     [
-      algorithms_cmd; gen_cmd; solve_cmd; compare_cmd; campaign_cmd; render_cmd;
-      graph_cmd; normalize_cmd; reduce_cmd; simulate_cmd; verify_cmd; bounds_cmd;
-      export_cmd; gallery_cmd;
+      algorithms_cmd; gen_cmd; solve_cmd; compare_cmd; campaign_cmd; fuzz_cmd;
+      replay_cmd; render_cmd; graph_cmd; normalize_cmd; reduce_cmd;
+      simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd;
     ]
 
 let () = exit (Cmd.eval main)

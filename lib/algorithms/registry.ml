@@ -339,7 +339,17 @@ let applicability solver instance =
         Error (Printf.sprintf "%s requires unit-size jobs" n)
       else Ok ()
 
-let solve solver instance =
+(* Certifier hook for the ~certify:true post-pass. The independent
+   certifier lives in crs_fuzz (which depends on this library), so it is
+   injected as a function rather than called directly; linking
+   Crs_fuzz.Certify installs it. *)
+let certifier :
+    (Instance.t -> Schedule.t -> claimed:int -> (unit, string) result) option ref =
+  ref None
+
+let install_certifier f = certifier := Some f
+
+let solve ?(certify = false) solver instance =
   (match applicability solver instance with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Registry.solve: " ^ reason));
@@ -347,6 +357,23 @@ let solve solver instance =
   let before = Crs_util.Fuel.ticks () in
   let out = S.solve instance in
   let spent = Crs_util.Fuel.ticks () - before in
+  if certify then begin
+    match out.schedule with
+    | None -> () (* makespan-only solver: nothing to audit *)
+    | Some schedule -> (
+      match !certifier with
+      | None ->
+        failwith
+          "Registry.solve: certify requested but no certifier installed \
+           (link Crs_fuzz.Certify)"
+      | Some audit -> (
+        match audit instance schedule ~claimed:out.makespan with
+        | Ok () -> ()
+        | Error msg ->
+          failwith
+            (Printf.sprintf "Registry.solve: %s failed certification: %s" S.name
+               msg)))
+  end;
   { out with counters = { out.counters with Counters.fuel_ticks = spent } }
 
 let policies =

@@ -123,10 +123,28 @@ val applicability : solver -> Crs_core.Instance.t -> (unit, string) result
 (** [Ok ()] when the instance satisfies the solver's {!requires};
     otherwise [Error reason] with a human-readable sentence. *)
 
-val solve : solver -> Crs_core.Instance.t -> outcome
+val solve : ?certify:bool -> solver -> Crs_core.Instance.t -> outcome
 (** Checked dispatch: verifies {!applicability}, runs the solver, and
     fills [counters.fuel_ticks] with the {!Crs_util.Fuel.ticks} delta.
-    @raise Invalid_argument when the instance is not applicable. *)
+    With [~certify:true], a witness outcome is additionally audited by
+    the installed independent certifier (see {!install_certifier}):
+    feasibility, job order, completion, and the claimed makespan are
+    re-derived from the schedule alone. Makespan-only outcomes are
+    passed through unaudited.
+    @raise Invalid_argument when the instance is not applicable.
+    @raise Failure when certification fails, or when [~certify:true] is
+    requested with no certifier installed. *)
+
+val install_certifier :
+  (Crs_core.Instance.t ->
+  Crs_core.Schedule.t ->
+  claimed:int ->
+  (unit, string) result) ->
+  unit
+(** Install the post-pass used by [solve ~certify:true]. The certifier
+    itself lives in [crs_fuzz] (which depends on this library), so it is
+    injected here rather than referenced directly; linking
+    [Crs_fuzz.Certify] installs the real one. *)
 
 val policies : (string * Crs_core.Policy.t) list
 (** The policy-backed solvers (kinds [Approx], [Heuristic], [Online]) as

@@ -54,6 +54,10 @@ let validate spec =
   if spec.m < 1 then Error "m must be at least 1"
   else if spec.n < 0 then Error "n must be non-negative"
   else if spec.granularity < 1 then Error "granularity must be at least 1"
+  else if spec.seed_hi < spec.seed_lo then
+    Error
+      (Printf.sprintf "empty seed range: seeds %d..%d (lo must be <= hi)"
+         spec.seed_lo spec.seed_hi)
   else if spec.algorithms = [] then Error "need at least one algorithm"
   else if unknown <> [] then
     Error

@@ -24,7 +24,7 @@ type t = {
   n : int;  (** jobs per processor *)
   granularity : int;  (** requirement grid 1/g *)
   seed_lo : int;
-  seed_hi : int;  (** inclusive; empty range => empty campaign *)
+  seed_hi : int;  (** inclusive; must be >= [seed_lo] (see {!validate}) *)
   algorithms : string list;  (** names from {!Crs_algorithms.Registry} *)
   baseline : baseline;
   fuel : int option;  (** per-solve tick budget; [None] = unlimited *)
@@ -35,8 +35,9 @@ val default : t
     fuel 2e6. *)
 
 val validate : t -> (t, string) result
-(** Checks ranges and that every algorithm name is registered in
-    {!Crs_algorithms.Registry} (the error lists the valid names). *)
+(** Checks ranges — including that the seed range is non-empty
+    ([seed_lo <= seed_hi]) — and that every algorithm name is registered
+    in {!Crs_algorithms.Registry} (the error lists the valid names). *)
 
 type item = { id : int; seed : int; algorithm : string }
 

@@ -45,9 +45,22 @@ let check_feasible t =
                    (Printf.sprintf "share out of [0,1] at step %d, proc %d: %s" step
                       proc (Q.to_string s))))
           row;
-        if Q.(sum_array row > one) then
-          raise (Bad (Printf.sprintf "resource overused at step %d: total %s" step
-                        (Q.to_string (Q.sum_array row)))))
+        if Q.(sum_array row > one) then begin
+          (* Name the heaviest consumer so the offending assignment can be
+             found without dumping the whole step. *)
+          let worst = ref 0 in
+          Array.iteri
+            (fun proc s -> if Q.(s > row.(!worst)) then worst := proc)
+            row;
+          raise
+            (Bad
+               (Printf.sprintf
+                  "resource overused at step %d: total %s > 1 (largest share: proc %d with %s)"
+                  step
+                  (Q.to_string (Q.sum_array row))
+                  !worst
+                  (Q.to_string row.(!worst))))
+        end)
       t.steps;
     Ok ()
   with Bad msg -> Error msg

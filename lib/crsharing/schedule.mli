@@ -34,7 +34,10 @@ val step_total : t -> int -> Crs_num.Rational.t
 val append_step : t -> Crs_num.Rational.t array -> t
 
 val check_feasible : t -> (unit, string) result
-(** Every share in [0,1] and every step total at most 1. *)
+(** Every share in [0,1] and every step total at most 1. Errors name
+    the offending step and processor: an out-of-range share reports its
+    value, an overused step reports the total and the processor holding
+    the largest share. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

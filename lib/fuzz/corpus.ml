@@ -1,0 +1,285 @@
+open Crs_core
+
+type expectation = Pass | Fail
+
+let expectation_to_string = function Pass -> "pass" | Fail -> "fail"
+
+let expectation_of_string = function
+  | "pass" -> Some Pass
+  | "fail" -> Some Fail
+  | _ -> None
+
+type entry = {
+  name : string;
+  oracle : string;
+  expect : expectation;
+  note : string;
+  family : string option;
+  seed : int option;
+  gen_m : int option;
+  gen_n : int option;
+  gen_granularity : int option;
+  instance_text : string;
+  digest : string;
+}
+
+let digest_of ~oracle ~instance_text =
+  Digest.to_hex (Digest.string (oracle ^ "\n" ^ instance_text))
+
+let make ~name ~oracle ?(expect = Pass) ?(note = "") ?family ?seed ?gen_m ?gen_n
+    ?gen_granularity instance =
+  let instance_text = Instance.to_string instance in
+  let seeded = [ seed <> None; gen_m <> None; gen_n <> None;
+                 gen_granularity <> None; family <> None ] in
+  if List.exists (fun b -> b) seeded && not (List.for_all (fun b -> b) seeded)
+  then
+    invalid_arg
+      "Corpus.make: family/seed/gen_m/gen_n/gen_granularity must be given \
+       together";
+  {
+    name;
+    oracle;
+    expect;
+    note;
+    family;
+    seed;
+    gen_m;
+    gen_n;
+    gen_granularity;
+    instance_text;
+    digest = digest_of ~oracle ~instance_text;
+  }
+
+(* ---- JSON encoding (same hand-rolled stable style as the campaign
+   reports; no JSON library is installed) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jstr_opt = function None -> "null" | Some s -> jstr s
+let jint_opt = function None -> "null" | Some v -> string_of_int v
+
+let to_json e =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> jstr k ^ ":" ^ v)
+         [
+           ("schema", jstr "crs-fuzz-corpus/1");
+           ("name", jstr e.name);
+           ("oracle", jstr e.oracle);
+           ("expect", jstr (expectation_to_string e.expect));
+           ("note", jstr e.note);
+           ("family", jstr_opt e.family);
+           ("seed", jint_opt e.seed);
+           ("m", jint_opt e.gen_m);
+           ("n", jint_opt e.gen_n);
+           ("granularity", jint_opt e.gen_granularity);
+           ("instance", jstr e.instance_text);
+           ("digest", jstr e.digest);
+         ])
+  ^ "}"
+
+(* ---- minimal parser for the writer's own output: flat objects whose
+   values are strings, ints or null. Not a general JSON parser. ---- *)
+
+let find_key text key =
+  let needle = "\"" ^ json_escape key ^ "\":" in
+  let n = String.length text and k = String.length needle in
+  let rec go i =
+    if i + k > n then None
+    else if String.sub text i k = needle then Some (i + k)
+    else go (i + 1)
+  in
+  go 0
+
+let parse_string text pos =
+  let n = String.length text in
+  if pos >= n || text.[pos] <> '"' then Error "expected a string value"
+  else begin
+    let buf = Buffer.create 64 in
+    let rec go i =
+      if i >= n then Error "unterminated string"
+      else
+        match text.[i] with
+        | '"' -> Ok (Buffer.contents buf)
+        | '\\' ->
+          if i + 1 >= n then Error "dangling escape"
+          else begin
+            (match text.[i + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+              if i + 5 >= n then failwith "short \\u escape"
+              else
+                Buffer.add_char buf
+                  (Char.chr (int_of_string ("0x" ^ String.sub text (i + 2) 4)))
+            | c -> failwith (Printf.sprintf "unsupported escape \\%c" c));
+            go (i + if text.[i + 1] = 'u' then 6 else 2)
+          end
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+    in
+    try go (pos + 1) with Failure msg -> Error msg
+  end
+
+let string_field text key =
+  match find_key text key with
+  | None -> Error (Printf.sprintf "missing field %S" key)
+  | Some pos -> parse_string text pos
+
+let opt_of = function
+  | Error _ -> None
+  | Ok v -> Some v
+
+let int_field_opt text key =
+  match find_key text key with
+  | None -> None
+  | Some pos ->
+    let n = String.length text in
+    let stop = ref pos in
+    while
+      !stop < n && (match text.[!stop] with '-' | '0' .. '9' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = pos then None else int_of_string_opt (String.sub text pos (!stop - pos))
+
+let string_field_opt text key =
+  match find_key text key with
+  | None -> None
+  | Some pos ->
+    if pos + 4 <= String.length text && String.sub text pos 4 = "null" then None
+    else opt_of (parse_string text pos)
+
+let of_json text =
+  let ( let* ) = Result.bind in
+  let* schema = string_field text "schema" in
+  if schema <> "crs-fuzz-corpus/1" then
+    Error (Printf.sprintf "unknown corpus schema %S" schema)
+  else
+    let* name = string_field text "name" in
+    let* oracle = string_field text "oracle" in
+    let* expect_s = string_field text "expect" in
+    let* expect =
+      match expectation_of_string expect_s with
+      | Some e -> Ok e
+      | None -> Error (Printf.sprintf "bad expect value %S" expect_s)
+    in
+    let* note = string_field text "note" in
+    let* instance_text = string_field text "instance" in
+    let* digest = string_field text "digest" in
+    Ok
+      {
+        name;
+        oracle;
+        expect;
+        note;
+        family = string_field_opt text "family";
+        seed = int_field_opt text "seed";
+        gen_m = int_field_opt text "m";
+        gen_n = int_field_opt text "n";
+        gen_granularity = int_field_opt text "granularity";
+        instance_text;
+        digest;
+      }
+
+(* ---- files ---- *)
+
+let save ~dir e =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (e.name ^ ".json") in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json e ^ "\n"));
+  path
+
+let load_file path =
+  try of_json (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error msg -> Error msg
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> [ (dir, Error msg) ]
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load_file path))
+
+(* Regenerate the pinned instance from its seed through the same
+   campaign seeding discipline ([Random.State.make [|seed|]]); a silent
+   generator or PRNG change then fails replay loudly. *)
+let regenerate e =
+  match (e.family, e.seed, e.gen_m, e.gen_n, e.gen_granularity) with
+  | Some family, Some seed, Some m, Some n, Some granularity -> (
+    match Crs_campaign.Spec.family_of_string family with
+    | None -> Some (Error (Printf.sprintf "unknown generator family %S" family))
+    | Some fam ->
+      let spec = { Crs_campaign.Spec.default with family = fam; m; n; granularity } in
+      Some (Ok (Crs_campaign.Spec.instance spec ~seed)))
+  | None, None, None, None, None -> None
+  | _ -> Some (Error "partial generator pin (family/seed/m/n/granularity)")
+
+let replay e =
+  let expected_digest = digest_of ~oracle:e.oracle ~instance_text:e.instance_text in
+  if e.digest <> expected_digest then
+    Error
+      (Printf.sprintf "digest mismatch: recorded %s, computed %s" e.digest
+         expected_digest)
+  else
+    match Instance.of_string e.instance_text with
+    | Error msg -> Error ("pinned instance does not parse: " ^ msg)
+    | Ok instance -> (
+      let seed_ok =
+        match regenerate e with
+        | None -> Ok ()
+        | Some (Error msg) -> Error msg
+        | Some (Ok regen) ->
+          let regen_text = Instance.to_string regen in
+          if String.equal regen_text e.instance_text then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "seed %s no longer reproduces the pinned instance:\n\
+                  pinned:\n%sregenerated:\n%s"
+                 (match e.seed with Some s -> string_of_int s | None -> "?")
+                 e.instance_text regen_text)
+      in
+      match seed_ok with
+      | Error _ as err -> err
+      | Ok () -> (
+        match Oracle.find e.oracle with
+        | None ->
+          Error
+            (Printf.sprintf "unknown oracle %S (valid: %s)" e.oracle
+               (String.concat ", " Oracle.names))
+        | Some oracle ->
+          if not (oracle.Oracle.applies instance) then
+            Error (Printf.sprintf "oracle %s does not apply" e.oracle)
+          else (
+            match (oracle.Oracle.check instance, e.expect) with
+            | Ok (), Pass | Error _, Fail -> Ok ()
+            | Error msg, Pass ->
+              Error (Printf.sprintf "expected pass, oracle failed: %s" msg)
+            | Ok (), Fail ->
+              Error
+                "expected a failing counterexample but the oracle now passes \
+                 (bug fixed? flip expect to \"pass\")")))

@@ -1,0 +1,94 @@
+module Q = Crs_num.Rational
+open Crs_core
+
+type stats = { checks : int; accepted : int }
+
+(* Requirement targets, tried nearest-first so "round toward {0,1/2,1}"
+   prefers the smallest perturbation that keeps the failure. *)
+let req_targets r =
+  let targets = [ Q.zero; Q.half; Q.one ] in
+  List.filter (fun t -> not (Q.equal t r)) targets
+  |> List.sort (fun a b ->
+         let d x = Q.abs (Q.sub x r) in
+         let c = Q.compare (d a) (d b) in
+         if c <> 0 then c else Q.compare a b)
+
+let replace_job rows i j job =
+  let rows = Array.map Array.copy rows in
+  rows.(i).(j) <- job;
+  rows
+
+let drop_job rows i j =
+  let rows = Array.map Array.copy rows in
+  rows.(i) <- Array.append (Array.sub rows.(i) 0 j)
+      (Array.sub rows.(i) (j + 1) (Array.length rows.(i) - j - 1));
+  rows
+
+let candidates instance =
+  let m = Instance.m instance in
+  let rows = Instance.rows instance in
+  let acc = ref [] in
+  let push rows = acc := Instance.create rows :: !acc in
+  (* 4. shrink sizes to 1 (reverse build order => tried last) *)
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j job ->
+          if not (Job.is_unit_size job) then
+            push (replace_job rows i j (Job.unit (Job.requirement job))))
+        row)
+    rows;
+  (* 3. round requirements toward {0, 1/2, 1}, nearest first *)
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j job ->
+          List.iter
+            (fun t ->
+              push
+                (replace_job rows i j (Job.make ~requirement:t ~size:(Job.size job))))
+            (List.rev (req_targets (Job.requirement job))))
+        row)
+    rows;
+  (* 2. drop single jobs, later jobs first (keeps prefixes intact) *)
+  for i = m - 1 downto 0 do
+    for j = 0 to Array.length rows.(i) - 1 do
+      push (drop_job rows i j)
+    done
+  done;
+  (* 1. drop whole processors (the biggest single step, tried first) *)
+  if m > 1 then
+    for i = m - 1 downto 0 do
+      acc :=
+        Instance.sub_processors instance
+          (List.filter (fun k -> k <> i) (List.init m (fun k -> k)))
+        :: !acc
+    done;
+  !acc
+
+let minimize ?(max_checks = 10_000) ~failing instance =
+  if not (failing instance) then
+    invalid_arg "Shrink.minimize: instance does not fail the oracle";
+  let checks = ref 1 and accepted = ref 0 in
+  let current = ref instance in
+  let progress = ref true in
+  (try
+     while !progress do
+       progress := false;
+       let rec try_candidates = function
+         | [] -> ()
+         | cand :: rest ->
+           if !checks >= max_checks then raise Exit;
+           incr checks;
+           if failing cand then begin
+             current := cand;
+             incr accepted;
+             progress := true
+             (* restart the scan on the simplified instance *)
+           end
+           else try_candidates rest
+       in
+       try_candidates (candidates !current)
+     done
+   with Exit -> ());
+  (!current, { checks = !checks; accepted = !accepted })

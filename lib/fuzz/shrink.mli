@@ -1,0 +1,30 @@
+(** Greedy instance minimizer for failing oracles.
+
+    Given a predicate that holds on a counterexample ("the oracle still
+    fails here"), repeatedly tries simplifications — drop a processor,
+    drop a job, round a requirement toward {0, 1/2, 1}, shrink a job
+    size to 1 — keeping each step only if the predicate still holds, and
+    stops at a local minimum. Deterministic: candidates are enumerated
+    in a fixed order and the first accepted one restarts the scan. *)
+
+type stats = {
+  checks : int;  (** predicate evaluations spent *)
+  accepted : int;  (** simplification steps that kept the failure *)
+}
+
+val candidates : Crs_core.Instance.t -> Crs_core.Instance.t list
+(** All one-step simplifications of an instance, in the fixed
+    enumeration order described above. Exposed for tests. *)
+
+val minimize :
+  ?max_checks:int ->
+  failing:(Crs_core.Instance.t -> bool) ->
+  Crs_core.Instance.t ->
+  Crs_core.Instance.t * stats
+(** [minimize ~failing instance] requires [failing instance = true] and
+    returns a locally minimal instance on which [failing] still holds,
+    i.e. no single candidate simplification of the result fails.
+    [max_checks] (default [10_000]) caps predicate evaluations; on
+    exhaustion the best instance so far is returned. The predicate must
+    be total: it should return [false] (not raise) on instances the
+    underlying oracle does not apply to. *)

@@ -108,6 +108,23 @@ let prop_exact_solvers_agree_m3 =
       Crs_algorithms.Opt_config.makespan instance
       = Crs_algorithms.Brute_force.makespan instance)
 
+(* m=4 parity: the configuration DP against the brute-force reference
+   on its widest testable machine count. The state space explodes with
+   m, so counts and sizes stay tiny (1-2 jobs/proc, coarse grids). *)
+let prop_exact_solvers_agree_m4 =
+  Helpers.qcheck_case ~count:12 "Opt_config = brute force (m=4)"
+    (QCheck2.Gen.map
+       (fun seed ->
+         let st = Random.State.make [| seed |] in
+         Crs_generators.Random_gen.equal_rows ~m:4
+           ~n:(1 + Random.State.int st 2)
+           ~granularity:(3 + Random.State.int st 4)
+           st)
+       QCheck2.Gen.(int_bound 1_000_000))
+    (fun instance ->
+      Crs_algorithms.Opt_config.makespan instance
+      = Crs_algorithms.Brute_force.makespan instance)
+
 let prop_opt_config_prune_invariant =
   Helpers.qcheck_case ~count:25 "domination pruning preserves the optimum"
     (Helpers.gen_instance ~max_m:3 ~max_jobs:2 ()) (fun instance ->
@@ -292,6 +309,7 @@ let suite =
     prop_exact_solvers_agree_m2;
     prop_lemma3_sufficiency;
     prop_exact_solvers_agree_m3;
+    prop_exact_solvers_agree_m4;
     prop_opt_config_prune_invariant;
     prop_lemma4_audit;
     Alcotest.test_case "lemma 4 audit: strong form on a tie-heavy instance" `Quick

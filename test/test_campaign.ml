@@ -83,12 +83,42 @@ let test_spec_expand () =
     items.(1).C.Spec.algorithm
 
 let test_empty_campaign () =
-  (* Inverted seed range: zero items end-to-end. *)
-  let records = C.Runner.run ~domains:2 (spec ~seed_lo:5 ~seed_hi:4 ()) in
-  Alcotest.(check int) "no records" 0 (Array.length records);
-  let s = C.Report.summarize records in
+  (* An inverted seed range is a spec error, not a silent no-op: validate
+     names the range, the runner refuses it, and an empty record array
+     still summarizes cleanly. *)
+  let inverted = spec ~seed_lo:5 ~seed_hi:4 () in
+  (match C.Spec.validate inverted with
+  | Ok _ -> Alcotest.fail "inverted seed range accepted"
+  | Error msg ->
+    Alcotest.(check bool) "message names the range" true
+      (Helpers.contains ~needle:"5..4" msg);
+    Alcotest.(check bool) "message says empty" true
+      (Helpers.contains ~needle:"empty seed range" msg));
+  (try
+     ignore (C.Runner.run ~domains:2 inverted);
+     Alcotest.fail "runner accepted an invalid spec"
+   with Invalid_argument _ -> ());
+  let s = C.Report.summarize [||] in
   Alcotest.(check int) "empty summary" 0 s.C.Report.items;
   Alcotest.(check bool) "no mean ratio" true (s.C.Report.mean_ratio = None)
+
+let test_validate_negative_paths () =
+  (* Unknown algorithm: the error lists what would have been valid. *)
+  (match C.Spec.validate (spec ~algorithms:[ "no-such-algorithm" ] ()) with
+  | Ok _ -> Alcotest.fail "unknown algorithm accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the bad algorithm" true
+      (Helpers.contains ~needle:"no-such-algorithm" msg);
+    Alcotest.(check bool) "lists valid names" true
+      (Helpers.contains ~needle:"greedy-balance" msg));
+  (match C.Spec.validate (spec ~algorithms:[] ()) with
+  | Ok _ -> Alcotest.fail "empty algorithm list accepted"
+  | Error msg ->
+    Alcotest.(check bool) "empty list rejected" true
+      (Helpers.contains ~needle:"at least one algorithm" msg));
+  (* A one-seed range (lo = hi) is fine. *)
+  Alcotest.(check bool) "lo = hi accepted" true
+    (Result.is_ok (C.Spec.validate (spec ~seed_lo:7 ~seed_hi:7 ())))
 
 let test_spec_instance_deterministic () =
   let sp = spec () in
@@ -208,6 +238,8 @@ let suite =
       test_pool_shutdown_rejects_submit;
     Alcotest.test_case "spec: expansion" `Quick test_spec_expand;
     Alcotest.test_case "spec: empty campaign" `Quick test_empty_campaign;
+    Alcotest.test_case "spec: validate negative paths" `Quick
+      test_validate_negative_paths;
     Alcotest.test_case "spec: deterministic instances" `Quick
       test_spec_instance_deterministic;
     Alcotest.test_case "runner: fuel exhaustion -> timeout record" `Quick

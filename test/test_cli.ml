@@ -133,6 +133,42 @@ let test_campaign () =
   Alcotest.(check bool) "payload digests match across pool sizes" true
     (digest_of out <> None && digest_of out = digest_of out1)
 
+let test_campaign_invalid_spec () =
+  (* Spec errors surface as one diagnostic line + exit 1, not a crash. *)
+  let code, out = run_capture "campaign --seeds 9-2 -a greedy-balance" in
+  Alcotest.(check int) "inverted range exits 1" 1 code;
+  Alcotest.(check bool) "prefixed diagnostic" true (has "error: invalid campaign:" out);
+  Alcotest.(check bool) "names the range" true (has "9..2" out);
+  let code, out = run_capture "campaign -a no-such-algorithm" in
+  Alcotest.(check int) "unknown algorithm exits 1" 1 code;
+  Alcotest.(check bool) "lists valid algorithms" true
+    (has "error: invalid campaign:" out && has "valid:" out)
+
+let test_fuzz_and_replay () =
+  (* Same seed range twice: byte-identical reports (at any pool size). *)
+  let args = "fuzz --oracle exact-agreement --seed-range 1..10 -m 2 -n 2" in
+  let code, out = run_capture (args ^ " --domains 2") in
+  Alcotest.(check int) "fuzz exits 0" 0 code;
+  Alcotest.(check bool) "summary line" true (has "10 seeds: 10 pass" out);
+  Alcotest.(check bool) "report digest" true (has "report digest" out);
+  let code1, out1 = run_capture (args ^ " --domains 1") in
+  Alcotest.(check int) "rerun exits 0" 0 code1;
+  Alcotest.(check string) "byte-identical reports" out out1;
+  let code, out = run_capture "fuzz --oracle no-such-oracle" in
+  Alcotest.(check int) "unknown oracle exits 1" 1 code;
+  Alcotest.(check bool) "lists valid oracles" true (has "witness-certified" out);
+  let code, out = run_capture "fuzz --seed-range 5..1" in
+  Alcotest.(check int) "bad range exits 1" 1 code;
+  Alcotest.(check bool) "range diagnostic" true (has "bad seed range" out);
+  (* Replay the pinned corpus (copied into _build by the test deps). *)
+  let code, out = run_capture "replay ../data/corpus" in
+  Alcotest.(check int) "replay exits 0" 0 code;
+  Alcotest.(check bool) "replays every entry" true
+    (has "0 failures" out && has "seed-uniform-1.json" out);
+  let code, out = run_capture "replay /nonexistent-corpus" in
+  Alcotest.(check int) "missing corpus exits 1" 1 code;
+  Alcotest.(check bool) "missing corpus diagnostic" true (has "ERROR" out)
+
 let test_simulate () =
   let code, out = run_capture "simulate --cores 4 -w streaming" in
   Alcotest.(check int) "exits 0" 0 code;
@@ -145,6 +181,9 @@ let suite =
     Alcotest.test_case "compare --exact" `Quick test_compare_exact;
     Alcotest.test_case "compare --json (campaign schema)" `Quick test_compare_json;
     Alcotest.test_case "campaign end-to-end" `Quick test_campaign;
+    Alcotest.test_case "campaign: invalid specs reported" `Quick
+      test_campaign_invalid_spec;
+    Alcotest.test_case "fuzz | replay" `Quick test_fuzz_and_replay;
     Alcotest.test_case "reduce --decide" `Quick test_reduce_decide;
     Alcotest.test_case "bounds" `Quick test_bounds;
     Alcotest.test_case "export | verify roundtrip" `Quick test_export_verify_roundtrip;

@@ -15,6 +15,7 @@ let () =
       ("discont", Test_discont.suite);
       ("generators", Test_generators.suite);
       ("campaign", Test_campaign.suite);
+      ("fuzz", Test_fuzz.suite);
       ("manycore", Test_manycore.suite);
       ("extension", Test_extension.suite);
       ("render", Test_render.suite);

@@ -118,9 +118,25 @@ let test_schedule_feasibility () =
   let ok = Helpers.schedule_of_strings [ [ "1/2"; "1/2" ]; [ "1"; "0" ] ] in
   Alcotest.(check bool) "feasible" true (Result.is_ok (Schedule.check_feasible ok));
   let over = Helpers.schedule_of_strings [ [ "3/4"; "1/2" ] ] in
-  Alcotest.(check bool) "overused" true (Result.is_error (Schedule.check_feasible over));
+  (match Schedule.check_feasible over with
+  | Ok () -> Alcotest.fail "overused schedule accepted"
+  | Error msg ->
+    (* The message must localize the violation: step, total, and the
+       processor holding the largest share. *)
+    Alcotest.(check bool) "overuse names step" true
+      (Helpers.contains ~needle:"overused at step 0" msg);
+    Alcotest.(check bool) "overuse names total" true
+      (Helpers.contains ~needle:"total 5/4 > 1" msg);
+    Alcotest.(check bool) "overuse names largest share" true
+      (Helpers.contains ~needle:"proc 0 with 3/4" msg));
   let neg = Helpers.schedule_of_strings [ [ "-1/4"; "1/2" ] ] in
-  Alcotest.(check bool) "negative share" true (Result.is_error (Schedule.check_feasible neg));
+  (match Schedule.check_feasible neg with
+  | Ok () -> Alcotest.fail "negative share accepted"
+  | Error msg ->
+    Alcotest.(check bool) "range error names step and proc" true
+      (Helpers.contains ~needle:"at step 0, proc 0" msg);
+    Alcotest.(check bool) "range error names value" true
+      (Helpers.contains ~needle:"-1/4" msg));
   Alcotest.check Helpers.check_q "share beyond horizon" Q.zero
     (Schedule.share ok ~step:7 ~proc:0);
   Alcotest.check_raises "ragged rows" (Invalid_argument "Schedule.of_rows: ragged rows")
