@@ -1,0 +1,90 @@
+(* Frozen pre-instrumentation copy of Opt_two's makespan path (the DP
+   only — replay is not timed by the overhead gate). The obs experiment
+   compares Crs_algorithms.Opt_two (profiling hooks compiled in, tracing
+   disabled) against this copy inside ONE process with interleaved reps,
+   so machine-speed drift between processes cancels out of the ratio.
+
+   Keep this file in sync with nothing: it is deliberately a snapshot of
+   lib/algorithms/opt_two.ml as of the commit that introduced the hooks.
+   If the DP itself changes later, re-snapshot it; the gate compares
+   like against like. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+
+type transition =
+  | Start
+  | Finish_both
+  | Finish_fst
+  | Finish_snd
+  | Only_fst
+  | Only_snd
+
+type entry = { t : int; r : Q.t; from : int * int; via : transition }
+
+let check instance =
+  if Instance.m instance <> 2 then
+    invalid_arg "Opt_two_unhooked: instance must have exactly 2 processors";
+  if not (Instance.is_unit_size instance) then
+    invalid_arg "Opt_two_unhooked: unit-size jobs only"
+
+let req instance i j =
+  if j < Instance.n_i instance i then Job.requirement (Instance.job instance i j)
+  else Q.zero
+
+let better (t1, r1) (t2, r2) = t1 < t2 || (t1 = t2 && Q.(r1 < r2))
+
+let run_dp instance =
+  check instance;
+  let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
+  let table : entry option array array =
+    Array.make_matrix (n1 + 1) (n2 + 1) None
+  in
+  let cells = ref 0 and relaxes = ref 0 in
+  let relax i1 i2 t r from via =
+    incr relaxes;
+    match table.(i1).(i2) with
+    | Some e when not (better (t, r) (e.t, e.r)) -> ()
+    | _ -> table.(i1).(i2) <- Some { t; r; from; via }
+  in
+  relax 0 0 0 (Q.add (req instance 0 0) (req instance 1 0)) (-1, -1) Start;
+  for level = 0 to n1 + n2 - 1 do
+    for i1 = max 0 (level - n2) to min level n1 do
+      Crs_util.Fuel.tick ();
+      let i2 = level - i1 in
+      match table.(i1).(i2) with
+      | None -> ()
+      | Some e ->
+        incr cells;
+        let t' = e.t + 1 in
+        let fresh1 = req instance 0 (i1 + 1)
+        and fresh2 = req instance 1 (i2 + 1) in
+        if i1 >= n1 && i2 < n2 then
+          relax i1 (i2 + 1) t' fresh2 (i1, i2) Only_snd
+        else if i2 >= n2 && i1 < n1 then
+          relax (i1 + 1) i2 t' fresh1 (i1, i2) Only_fst
+        else if i1 < n1 && i2 < n2 then begin
+          if Q.(e.r <= one) then
+            relax (i1 + 1) (i2 + 1) t' (Q.add fresh1 fresh2) (i1, i2)
+              Finish_both
+          else begin
+            relax (i1 + 1) i2 t'
+              (Q.add fresh1 (Q.sub e.r Q.one))
+              (i1, i2) Finish_fst;
+            relax i1 (i2 + 1) t'
+              (Q.add (Q.sub e.r Q.one) fresh2)
+              (i1, i2) Finish_snd
+          end
+        end
+    done
+  done;
+  ignore !cells;
+  ignore !relaxes;
+  table
+
+let makespan instance =
+  let table = run_dp instance in
+  let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
+  match table.(n1).(n2) with
+  | Some e -> e.t
+  | None -> failwith "Opt_two_unhooked.makespan: final state unreachable (bug)"

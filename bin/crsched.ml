@@ -55,33 +55,53 @@ let schedule_of solver instance =
 
 (* ---- algorithms ---- *)
 
+let algorithm_rows () =
+  List.map
+    (fun s ->
+      let r = Registry.requires s in
+      let m_range =
+        match r.Registry.max_m with
+        | Some mx when mx = r.Registry.min_m -> string_of_int mx
+        | Some mx -> Printf.sprintf "%d-%d" r.Registry.min_m mx
+        | None -> Printf.sprintf "%d+" r.Registry.min_m
+      in
+      [
+        Registry.name s;
+        Registry.kind_to_string (Registry.kind s);
+        m_range;
+        (if r.Registry.unit_size_only then "unit" else "any");
+        (if r.Registry.fuel_aware then "yes" else "no");
+        (if Registry.witness s then "yes" else "no");
+        Registry.about s;
+      ])
+    Registry.all
+
+let algorithms_header =
+  [ "name"; "kind"; "m"; "sizes"; "fuel"; "witness"; "about" ]
+
 let algorithms_cmd =
-  let run () =
-    let rows =
-      List.map
-        (fun s ->
-          let r = Registry.requires s in
-          let m_range =
-            match r.Registry.max_m with
-            | Some mx when mx = r.Registry.min_m -> string_of_int mx
-            | Some mx -> Printf.sprintf "%d-%d" r.Registry.min_m mx
-            | None -> Printf.sprintf "%d+" r.Registry.min_m
-          in
-          [
-            Registry.name s;
-            Registry.kind_to_string (Registry.kind s);
-            m_range;
-            (if r.Registry.unit_size_only then "unit" else "any");
-            (if r.Registry.fuel_aware then "yes" else "no");
-            (if Registry.witness s then "yes" else "no");
-            Registry.about s;
-          ])
-        Registry.all
-    in
-    print_string
-      (T_render.render
-         ~header:[ "name"; "kind"; "m"; "sizes"; "fuel"; "witness"; "about" ]
-         rows)
+  let long =
+    Arg.(
+      value & flag
+      & info [ "long" ]
+          ~doc:
+            "Emit a GitHub-flavoured markdown table instead of the plain \
+             one (the README's Algorithms section is generated from this).")
+  in
+  let run long =
+    let rows = algorithm_rows () in
+    if long then begin
+      let line cells = "| " ^ String.concat " | " cells ^ " |" in
+      print_endline (line algorithms_header);
+      print_endline (line (List.map (fun _ -> "---") algorithms_header));
+      List.iter
+        (function
+          | name :: rest -> print_endline (line (("`" ^ name ^ "`") :: rest))
+          | [] -> ())
+        rows
+    end
+    else
+      print_string (T_render.render ~header:algorithms_header rows)
   in
   Cmd.v
     (Cmd.info "algorithms"
@@ -94,9 +114,10 @@ let algorithms_cmd =
               (exact/approx/heuristic/online), accepted processor counts, \
               accepted job sizes, whether fuel budgets meter it, and whether \
               it produces a witness schedule (only witnessed solvers can be \
-              used with solve/render/export).";
+              used with solve/render/export). With --long, the same table is \
+              emitted as markdown for the README.";
          ])
-    Term.(const run $ const ())
+    Term.(const run $ long)
 
 (* ---- gen ---- *)
 
@@ -281,7 +302,15 @@ let campaign_cmd =
     Arg.(value & opt string "data"
          & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for JSONL + summary.")
   in
-  let run family m n granularity (seed_lo, seed_hi) algos baseline fuel domains out =
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect the crs_obs metrics registry during the run \
+                   (outcome counters, per-solver work counters) and write \
+                   its snapshot to DIR/campaign-metrics.json.")
+  in
+  let run family m n granularity (seed_lo, seed_hi) algos baseline fuel domains
+      out metrics =
     let fam =
       match Crs_campaign.Spec.family_of_string family with
       | Some f -> f
@@ -319,9 +348,19 @@ let campaign_cmd =
       (Array.length (Crs_campaign.Spec.expand spec))
       (max 1 domains)
       (if domains > 1 then "s" else "");
+    if metrics then Crs_obs.Metrics.set_enabled true;
     let t0 = Unix.gettimeofday () in
     let records = Crs_campaign.Runner.run ~domains spec in
     let elapsed = Unix.gettimeofday () -. t0 in
+    if metrics then begin
+      let snapshot = Crs_obs.Metrics.snapshot () in
+      Crs_obs.Metrics.set_enabled false;
+      if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+      let metrics_path = Filename.concat out "campaign-metrics.json" in
+      Out_channel.with_open_text metrics_path (fun oc ->
+          Out_channel.output_string oc (snapshot ^ "\n"));
+      Printf.printf "metrics: %s\nwrote %s\n" snapshot metrics_path
+    end;
     let summary = Crs_campaign.Report.summarize records in
     let jsonl_path = Filename.concat out "campaign.jsonl" in
     let summary_path = Filename.concat out "campaign-summary.json" in
@@ -358,7 +397,7 @@ let campaign_cmd =
          ])
     Term.(
       const run $ family $ m $ n $ granularity $ seeds $ algos $ baseline $ fuel
-      $ domains $ out)
+      $ domains $ out $ metrics)
 
 (* ---- fuzz / replay ---- *)
 
@@ -858,13 +897,166 @@ let simulate_cmd =
        ~doc:"Run the many-core bus simulator and compare bandwidth policies.")
     Term.(const run $ cores $ workload $ seed $ trace_file $ csv $ svg)
 
+(* ---- trace ---- *)
+
+let trace_out_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Where to write the trace. Chrome trace_event JSON by default — \
+           load it in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let trace_jsonl_arg =
+  Arg.(
+    value & flag
+    & info [ "jsonl" ]
+        ~doc:
+          "Write one JSON object per span (raw nanosecond timestamps) \
+           instead of Chrome trace_event JSON.")
+
+let write_trace ~jsonl path =
+  let payload =
+    if jsonl then Crs_obs.Trace.to_jsonl ()
+    else Crs_obs.Trace.to_chrome () ^ "\n"
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc payload);
+  Printf.printf "wrote %s (%d spans)\n" path
+    (List.length (Crs_obs.Trace.spans ()))
+
+let trace_solve_cmd =
+  let run path solver out jsonl =
+    let instance = read_instance path in
+    (match Registry.applicability solver instance with
+    | Ok () -> ()
+    | Error reason ->
+      Printf.eprintf "error: %s\n" reason;
+      exit 1);
+    Crs_obs.Trace.set_enabled true;
+    Crs_obs.Metrics.set_enabled true;
+    let result = Registry.solve solver instance in
+    Crs_obs.Trace.set_enabled false;
+    Crs_obs.Metrics.set_enabled false;
+    Printf.printf "%s makespan: %d\n\nspan tree:\n%s\n" (Registry.name solver)
+      result.Registry.makespan
+      (Crs_obs.Trace.signature ());
+    write_trace ~jsonl out;
+    Printf.printf "metrics: %s\n" (Crs_obs.Metrics.snapshot ())
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve one instance with tracing on; write the span trace."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the solver through the registry with the crs_obs tracer \
+              and metrics registry enabled, prints the reconstructed span \
+              tree (names and attributes, no timestamps) and the metrics \
+              snapshot, and writes the full trace to --trace-out. See \
+              EXPERIMENTS.md, section 'Reading a trace', for a walkthrough.";
+         ])
+    Term.(const run $ instance_arg $ algo_arg $ trace_out_arg $ trace_jsonl_arg)
+
+let trace_campaign_cmd =
+  let family =
+    Arg.(value & opt string "uniform"
+         & info [ "f"; "family" ] ~docv:"FAMILY"
+             ~doc:"Generator family: uniform, heavy-tailed, balanced.")
+  in
+  let m = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Number of processors.") in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Jobs per processor.") in
+  let granularity =
+    Arg.(value & opt int 10 & info [ "granularity" ] ~doc:"Requirement grid 1/g.")
+  in
+  let seeds =
+    Arg.(value & opt (pair ~sep:'-' int int) (1, 8)
+         & info [ "seeds" ] ~docv:"LO-HI"
+             ~doc:"Inclusive seed range; one instance per seed.")
+  in
+  let algos =
+    Arg.(value & opt_all string [ Registry.Names.greedy_balance ]
+         & info [ "a"; "algorithm" ] ~docv:"ALGO"
+             ~doc:"Algorithm to evaluate (repeatable).")
+  in
+  let fuel =
+    Arg.(value & opt int 2_000_000
+         & info [ "fuel" ] ~doc:"Per-solve work budget; 0 disables metering.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"K"
+             ~doc:"Domain-pool size. The merged trace is sorted \
+                   deterministically, so the span TREE is identical at any \
+                   size (timestamps and thread ids differ).")
+  in
+  let run family m n granularity (seed_lo, seed_hi) algos fuel domains out jsonl
+      =
+    let fam =
+      match Crs_campaign.Spec.family_of_string family with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "error: unknown family %s\n" family;
+        exit 1
+    in
+    let spec =
+      {
+        Crs_campaign.Spec.family = fam;
+        m;
+        n;
+        granularity;
+        seed_lo;
+        seed_hi;
+        algorithms = algos;
+        baseline = Crs_campaign.Spec.Lower_bound;
+        fuel = (if fuel = 0 then None else Some fuel);
+      }
+    in
+    (match Crs_campaign.Spec.validate spec with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "error: invalid campaign: %s\n" msg;
+      exit 1);
+    Crs_obs.Trace.set_enabled true;
+    let records = Crs_campaign.Runner.run ~domains spec in
+    Crs_obs.Trace.set_enabled false;
+    Printf.printf "campaign: %s (%d records)\n\nspan tree:\n%s\n"
+      (Crs_campaign.Spec.describe spec)
+      (Array.length records)
+      (Crs_obs.Trace.signature ());
+    write_trace ~jsonl out
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a small campaign with tracing on; write the merged trace."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs a (family, seed range, algorithm list) campaign on a \
+              domain pool with per-item spans enabled. Each item's span \
+              carries its id, family, seed and algorithm, and the merged \
+              forest is sorted on stable attributes — so the printed span \
+              tree is independent of the pool size.";
+         ])
+    Term.(
+      const run $ family $ m $ n $ granularity $ seeds $ algos $ fuel $ domains
+      $ trace_out_arg $ trace_jsonl_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Run a workload with the crs_obs tracer enabled and export spans.")
+    [ trace_solve_cmd; trace_campaign_cmd ]
+
 let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
   Cmd.group (Cmd.info "crsched" ~version:"1.0.0" ~doc)
     [
       algorithms_cmd; gen_cmd; solve_cmd; compare_cmd; campaign_cmd; fuzz_cmd;
       replay_cmd; render_cmd; graph_cmd; normalize_cmd; reduce_cmd;
-      simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd;
+      simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main)

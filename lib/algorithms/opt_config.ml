@@ -97,40 +97,68 @@ let solve ?(prune = true) instance =
     let generated = ref 0 in
     let layer_sizes = ref [] in
     let max_layers = Instance.total_jobs instance + 1 in
+    let layer_hist =
+      if Crs_obs.Metrics.enabled () then
+        Some (Crs_obs.Metrics.histogram "opt_config.layer_size")
+      else None
+    in
+    (* One span per time layer. The recursive call happens outside the
+       span so layers appear as siblings under the solve root, not as an
+       ever-deepening chain. *)
+    let expand_layer layer =
+      (* Expand every node; merge duplicates keeping an arbitrary parent
+         (all parents at the same t are equally good). *)
+      let next : (config, node) Hashtbl.t = Hashtbl.create 256 in
+      let gen0 = !generated in
+      List.iter
+        (fun node ->
+          List.iter
+            (fun (cfg, shares) ->
+              Crs_util.Fuel.tick ();
+              incr generated;
+              if not (Hashtbl.mem seen cfg) && not (Hashtbl.mem next cfg) then
+                Hashtbl.replace next cfg { config = cfg; parent = Some node; shares })
+            (successors instance node.config))
+        layer;
+      let candidates = Hashtbl.fold (fun _ n acc -> n :: acc) next [] in
+      (* Mutual domination forces equality, and equal configs were
+         merged above, so discarding every dominated candidate never
+         empties a non-empty layer. *)
+      let survivors =
+        if not prune then candidates
+        else
+          List.filter
+            (fun n ->
+              not
+                (List.exists
+                   (fun n' -> n' != n && dominates n'.config n.config)
+                   candidates))
+            candidates
+      in
+      List.iter (fun n -> Hashtbl.replace seen n.config ()) survivors;
+      let width = List.length survivors in
+      layer_sizes := width :: !layer_sizes;
+      (match layer_hist with
+      | Some h -> Crs_obs.Metrics.observe h width
+      | None -> ());
+      if Crs_obs.Trace.enabled () then
+        Crs_obs.Trace.add_attrs
+          [
+            ("survivors", Crs_obs.Trace.Int width);
+            ("generated", Crs_obs.Trace.Int (!generated - gen0));
+          ];
+      survivors
+    in
     let rec grow layer t =
       if t > max_layers then
         failwith "Opt_config.solve: exceeded layer budget (bug)"
       else begin
-        (* Expand every node; merge duplicates keeping an arbitrary parent
-           (all parents at the same t are equally good). *)
-        let next : (config, node) Hashtbl.t = Hashtbl.create 256 in
-        List.iter
-          (fun node ->
-            List.iter
-              (fun (cfg, shares) ->
-                Crs_util.Fuel.tick ();
-                incr generated;
-                if not (Hashtbl.mem seen cfg) && not (Hashtbl.mem next cfg) then
-                  Hashtbl.replace next cfg { config = cfg; parent = Some node; shares })
-              (successors instance node.config))
-          layer;
-        let candidates = Hashtbl.fold (fun _ n acc -> n :: acc) next [] in
-        (* Mutual domination forces equality, and equal configs were
-           merged above, so discarding every dominated candidate never
-           empties a non-empty layer. *)
         let survivors =
-          if not prune then candidates
-          else
-            List.filter
-              (fun n ->
-                not
-                  (List.exists
-                     (fun n' -> n' != n && dominates n'.config n.config)
-                     candidates))
-              candidates
+          Crs_obs.Trace.with_span_l
+            (fun () -> [ ("t", Crs_obs.Trace.Int t) ])
+            "opt_config.layer"
+            (fun () -> expand_layer layer)
         in
-        List.iter (fun n -> Hashtbl.replace seen n.config ()) survivors;
-        layer_sizes := List.length survivors :: !layer_sizes;
         match List.find_opt (fun n -> is_final instance n.config) survivors with
         | Some final -> (t, final)
         | None ->

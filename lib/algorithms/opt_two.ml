@@ -39,36 +39,60 @@ let run_dp instance =
     | Some e when not (better (t, r) (e.t, e.r)) -> ()
     | _ -> table.(i1).(i2) <- Some { t; r; from; via }
   in
-  relax 0 0 0 (Q.add (req instance 0 0) (req instance 1 0)) (-1, -1) Start;
-  (* Transitions raise i1+i2 by 1 or 2, so diagonal order finalizes every
-     state before it is expanded. *)
-  for level = 0 to n1 + n2 - 1 do
-    for i1 = max 0 (level - n2) to min level n1 do
-      Crs_util.Fuel.tick ();
-      let i2 = level - i1 in
-      match table.(i1).(i2) with
-      | None -> ()
-      | Some e ->
-        incr cells;
-        let t' = e.t + 1 in
-        let fresh1 = req instance 0 (i1 + 1) and fresh2 = req instance 1 (i2 + 1) in
-        if i1 >= n1 && i2 < n2 then
-          (* Only processor 1 active: one job per step, leftover wasted. *)
-          relax i1 (i2 + 1) t' fresh2 (i1, i2) Only_snd
-        else if i2 >= n2 && i1 < n1 then
-          relax (i1 + 1) i2 t' fresh1 (i1, i2) Only_fst
-        else if i1 < n1 && i2 < n2 then begin
-          if Q.(e.r <= one) then
-            relax (i1 + 1) (i2 + 1) t' (Q.add fresh1 fresh2) (i1, i2) Finish_both
-          else begin
-            (* r > 1: finish one job (cost <= 1) and invest the leftover
-               in the other, which stays active with remainder r - 1. *)
-            relax (i1 + 1) i2 t' (Q.add fresh1 (Q.sub e.r Q.one)) (i1, i2) Finish_fst;
-            relax i1 (i2 + 1) t' (Q.add (Q.sub e.r Q.one) fresh2) (i1, i2) Finish_snd
+  (* Per-level state counts feed a log-scale histogram when metrics are
+     on; the lookup happens once per solve, never per cell. *)
+  let level_hist =
+    if Crs_obs.Metrics.enabled () then
+      Some (Crs_obs.Metrics.histogram "opt_two.states_per_level")
+    else None
+  in
+  let dp () =
+    relax 0 0 0 (Q.add (req instance 0 0) (req instance 1 0)) (-1, -1) Start;
+    (* Transitions raise i1+i2 by 1 or 2, so diagonal order finalizes every
+       state before it is expanded. *)
+    for level = 0 to n1 + n2 - 1 do
+      let level_cells = !cells in
+      for i1 = max 0 (level - n2) to min level n1 do
+        Crs_util.Fuel.tick ();
+        let i2 = level - i1 in
+        match table.(i1).(i2) with
+        | None -> ()
+        | Some e ->
+          incr cells;
+          let t' = e.t + 1 in
+          let fresh1 = req instance 0 (i1 + 1) and fresh2 = req instance 1 (i2 + 1) in
+          if i1 >= n1 && i2 < n2 then
+            (* Only processor 1 active: one job per step, leftover wasted. *)
+            relax i1 (i2 + 1) t' fresh2 (i1, i2) Only_snd
+          else if i2 >= n2 && i1 < n1 then
+            relax (i1 + 1) i2 t' fresh1 (i1, i2) Only_fst
+          else if i1 < n1 && i2 < n2 then begin
+            if Q.(e.r <= one) then
+              relax (i1 + 1) (i2 + 1) t' (Q.add fresh1 fresh2) (i1, i2) Finish_both
+            else begin
+              (* r > 1: finish one job (cost <= 1) and invest the leftover
+                 in the other, which stays active with remainder r - 1. *)
+              relax (i1 + 1) i2 t' (Q.add fresh1 (Q.sub e.r Q.one)) (i1, i2) Finish_fst;
+              relax i1 (i2 + 1) t' (Q.add (Q.sub e.r Q.one) fresh2) (i1, i2) Finish_snd
+            end
           end
-        end
+      done;
+      match level_hist with
+      | Some h -> Crs_obs.Metrics.observe h (!cells - level_cells)
+      | None -> ()
     done
-  done;
+  in
+  Crs_obs.Trace.with_span_l
+    (fun () -> [ ("n1", Crs_obs.Trace.Int n1); ("n2", Crs_obs.Trace.Int n2) ])
+    "opt_two.dp"
+    (fun () ->
+      dp ();
+      if Crs_obs.Trace.enabled () then
+        Crs_obs.Trace.add_attrs
+          [
+            ("cells_expanded", Crs_obs.Trace.Int !cells);
+            ("relaxations", Crs_obs.Trace.Int !relaxes);
+          ]);
   (table, { cells_expanded = !cells; relaxations = !relaxes })
 
 let makespan instance =
@@ -94,7 +118,9 @@ let solve instance =
     | Some e ->
       if e.via = Start then acc else path (fst e.from) (snd e.from) (e :: acc)
   in
-  let steps = path n1 n2 [] in
+  let steps =
+    Crs_obs.Trace.with_span "opt_two.replay" (fun () -> path n1 n2 [])
+  in
   let v1 = ref (req instance 0 0) and v2 = ref (req instance 1 0) in
   let i1 = ref 0 and i2 = ref 0 in
   let rows =

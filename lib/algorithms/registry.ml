@@ -354,9 +354,37 @@ let solve ?(certify = false) solver instance =
   | Ok () -> ()
   | Error reason -> invalid_arg ("Registry.solve: " ^ reason));
   let module S = (val solver : SOLVER) in
-  let before = Crs_util.Fuel.ticks () in
-  let out = S.solve instance in
-  let spent = Crs_util.Fuel.ticks () - before in
+  let metered () =
+    let before = Crs_util.Fuel.ticks () in
+    let out = S.solve instance in
+    let spent = Crs_util.Fuel.ticks () - before in
+    { out with counters = { out.counters with Counters.fuel_ticks = spent } }
+  in
+  (* Root span per solve; counters become attributes at close so traces
+     carry the same numbers as campaign JSONL. All deterministic (fuel,
+     not wall time), so span signatures stay pool-size independent. *)
+  let out =
+    if Crs_obs.Trace.enabled () then
+      Crs_obs.Trace.with_span
+        ~attrs:[ ("algorithm", Crs_obs.Trace.Str S.name) ]
+        "registry.solve"
+        (fun () ->
+          let out = metered () in
+          Crs_obs.Trace.add_attrs
+            (("makespan", Crs_obs.Trace.Int out.makespan)
+            :: List.map
+                 (fun (k, v) -> (k, Crs_obs.Trace.Int v))
+                 (Counters.to_assoc out.counters));
+          out)
+    else metered ()
+  in
+  if Crs_obs.Metrics.enabled () then
+    List.iter
+      (fun (k, v) ->
+        Crs_obs.Metrics.add
+          (Crs_obs.Metrics.counter (Printf.sprintf "solver.%s.%s" S.name k))
+          v)
+      (("solves", 1) :: Counters.to_assoc out.counters);
   if certify then begin
     match out.schedule with
     | None -> () (* makespan-only solver: nothing to audit *)
@@ -374,7 +402,7 @@ let solve ?(certify = false) solver instance =
             (Printf.sprintf "Registry.solve: %s failed certification: %s" S.name
                msg)))
   end;
-  { out with counters = { out.counters with Counters.fuel_ticks = spent } }
+  out
 
 let policies =
   List.map (fun (n, _, _, p) -> (n, p)) policy_table

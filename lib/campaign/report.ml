@@ -31,34 +31,13 @@ type record = {
   wall_ns : int;
 }
 
-(* ---- JSON encoding ---- *)
+(* ---- JSON encoding (shared stable encoder, see Crs_util.Stable_json) ---- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let jstr s = "\"" ^ json_escape s ^ "\""
-let jint_opt = function None -> "null" | Some v -> string_of_int v
-
-(* Fixed-point, locale-free float rendering: bit-stable across runs. *)
-let jfloat f = Printf.sprintf "%.6f" f
-let jfloat_opt = function None -> "null" | Some v -> jfloat v
-
-let obj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
-  ^ "}"
+let jstr = Crs_util.Stable_json.str
+let jint_opt = Crs_util.Stable_json.int_opt
+let jfloat = Crs_util.Stable_json.float
+let jfloat_opt = Crs_util.Stable_json.float_opt
+let obj = Crs_util.Stable_json.obj
 
 let jcounters = function
   | None -> "null"

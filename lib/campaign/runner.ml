@@ -80,9 +80,26 @@ let run_item spec (item : Spec.item) =
   let instance = Spec.instance spec ~seed:item.seed in
   let digest = Digest.to_hex (Digest.string (Instance.to_string instance)) in
   let outcome, makespan, optimum, ratio, counters =
-    evaluate ~fuel:spec.Spec.fuel ~baseline:spec.Spec.baseline
-      ~algorithm:item.algorithm instance
+    (* The item id is unique within a campaign, so root spans sort into
+       a total order however the pool distributed the items — that is
+       what makes Trace.signature pool-size independent. *)
+    Crs_obs.Trace.with_span_l
+      (fun () ->
+        [
+          ("id", Crs_obs.Trace.Int item.id);
+          ("family", Crs_obs.Trace.Str (Spec.family_to_string spec.Spec.family));
+          ("seed", Crs_obs.Trace.Int item.seed);
+          ("algorithm", Crs_obs.Trace.Str item.algorithm);
+        ])
+      "campaign.item"
+      (fun () ->
+        evaluate ~fuel:spec.Spec.fuel ~baseline:spec.Spec.baseline
+          ~algorithm:item.algorithm instance)
   in
+  if Crs_obs.Metrics.enabled () then
+    Crs_obs.Metrics.incr
+      (Crs_obs.Metrics.counter
+         ("campaign.outcome." ^ Report.outcome_label outcome));
   {
     Report.id = item.id;
     family = Spec.family_to_string spec.Spec.family;

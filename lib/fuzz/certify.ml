@@ -109,14 +109,19 @@ let derive instance schedule =
        with Bad msg -> Error msg)
 
 let check instance schedule ~claimed =
-  match derive instance schedule with
-  | Error _ as e -> e
-  | Ok v ->
-    if v.makespan <> claimed then
-      Error
-        (Printf.sprintf "certify: claimed makespan %d but witness achieves %d"
-           claimed v.makespan)
-    else Ok v
+  Crs_obs.Trace.with_span_l
+    (fun () -> [ ("claimed", Crs_obs.Trace.Int claimed) ])
+    "certify.check"
+    (fun () ->
+      match derive instance schedule with
+      | Error _ as e -> e
+      | Ok v ->
+        if v.makespan <> claimed then
+          Error
+            (Printf.sprintf
+               "certify: claimed makespan %d but witness achieves %d" claimed
+               v.makespan)
+        else Ok v)
 
 (* Wire into the registry's ~certify:true post-pass. The hook lives in
    crs_algorithms (which cannot depend on this library), so it is a

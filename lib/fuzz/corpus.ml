@@ -50,48 +50,30 @@ let make ~name ~oracle ?(expect = Pass) ?(note = "") ?family ?seed ?gen_m ?gen_n
     digest = digest_of ~oracle ~instance_text;
   }
 
-(* ---- JSON encoding (same hand-rolled stable style as the campaign
-   reports; no JSON library is installed) ---- *)
+(* ---- JSON encoding (shared stable encoder, see Crs_util.Stable_json;
+   the pinned corpus digests depend on this staying byte-identical) ---- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let jstr s = "\"" ^ json_escape s ^ "\""
-let jstr_opt = function None -> "null" | Some s -> jstr s
-let jint_opt = function None -> "null" | Some v -> string_of_int v
+let json_escape = Crs_util.Stable_json.escape
+let jstr = Crs_util.Stable_json.str
+let jstr_opt = Crs_util.Stable_json.str_opt
+let jint_opt = Crs_util.Stable_json.int_opt
 
 let to_json e =
-  "{"
-  ^ String.concat ","
-      (List.map
-         (fun (k, v) -> jstr k ^ ":" ^ v)
-         [
-           ("schema", jstr "crs-fuzz-corpus/1");
-           ("name", jstr e.name);
-           ("oracle", jstr e.oracle);
-           ("expect", jstr (expectation_to_string e.expect));
-           ("note", jstr e.note);
-           ("family", jstr_opt e.family);
-           ("seed", jint_opt e.seed);
-           ("m", jint_opt e.gen_m);
-           ("n", jint_opt e.gen_n);
-           ("granularity", jint_opt e.gen_granularity);
-           ("instance", jstr e.instance_text);
-           ("digest", jstr e.digest);
-         ])
-  ^ "}"
+  Crs_util.Stable_json.obj
+    [
+      ("schema", jstr "crs-fuzz-corpus/1");
+      ("name", jstr e.name);
+      ("oracle", jstr e.oracle);
+      ("expect", jstr (expectation_to_string e.expect));
+      ("note", jstr e.note);
+      ("family", jstr_opt e.family);
+      ("seed", jint_opt e.seed);
+      ("m", jint_opt e.gen_m);
+      ("n", jint_opt e.gen_n);
+      ("granularity", jint_opt e.gen_granularity);
+      ("instance", jstr e.instance_text);
+      ("digest", jstr e.digest);
+    ]
 
 (* ---- minimal parser for the writer's own output: flat objects whose
    values are strings, ints or null. Not a general JSON parser. ---- *)

@@ -63,18 +63,46 @@ type report = {
   skips : int;
 }
 
+let outcome_label = function
+  | Pass -> "pass"
+  | Fail _ -> "fail"
+  | Timeout -> "timeout"
+  | Skip -> "skip"
+
 let evaluate config (oracle : Oracle.t) seed =
   let instance = instance_of config ~seed in
   let digest = Digest.to_hex (Digest.string (Instance.to_string instance)) in
+  (* Seed is unique within a run, so these root spans merge into a total
+     order whatever the pool size (same discipline as campaign.item). *)
   let outcome =
-    if not (oracle.Oracle.applies instance) then Skip
-    else
-      match Crs_util.Fuel.with_fuel config.fuel (fun () -> oracle.Oracle.check instance) with
-      | Ok () -> Pass
-      | Error msg -> Fail msg
-      | exception Crs_util.Fuel.Out_of_fuel -> Timeout
-      | exception e -> Fail ("raised " ^ Printexc.to_string e)
+    Crs_obs.Trace.with_span_l
+      (fun () ->
+        [
+          ("oracle", Crs_obs.Trace.Str oracle.Oracle.name);
+          ("seed", Crs_obs.Trace.Int seed);
+        ])
+      "fuzz.case"
+      (fun () ->
+        let outcome =
+          if not (oracle.Oracle.applies instance) then Skip
+          else
+            match
+              Crs_util.Fuel.with_fuel config.fuel (fun () ->
+                  oracle.Oracle.check instance)
+            with
+            | Ok () -> Pass
+            | Error msg -> Fail msg
+            | exception Crs_util.Fuel.Out_of_fuel -> Timeout
+            | exception e -> Fail ("raised " ^ Printexc.to_string e)
+        in
+        if Crs_obs.Trace.enabled () then
+          Crs_obs.Trace.add_attrs
+            [ ("outcome", Crs_obs.Trace.Str (outcome_label outcome)) ];
+        outcome)
   in
+  if Crs_obs.Metrics.enabled () then
+    Crs_obs.Metrics.incr
+      (Crs_obs.Metrics.counter ("fuzz.outcome." ^ outcome_label outcome));
   { seed; digest; outcome }
 
 let run ?(domains = 1) config (oracle : Oracle.t) =
@@ -114,7 +142,14 @@ let shrink_failure ?max_checks config (oracle : Oracle.t) ~seed =
               Result.is_error (oracle.Oracle.check instance))
         with Crs_util.Fuel.Out_of_fuel | _ -> false)
   in
-  Shrink.minimize ?max_checks ~failing (instance_of config ~seed)
+  Crs_obs.Trace.with_span_l
+    (fun () ->
+      [
+        ("oracle", Crs_obs.Trace.Str oracle.Oracle.name);
+        ("seed", Crs_obs.Trace.Int seed);
+      ])
+    "fuzz.shrink"
+    (fun () -> Shrink.minimize ?max_checks ~failing (instance_of config ~seed))
 
 let render report =
   let c = report.config in

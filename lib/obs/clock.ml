@@ -1,0 +1,2 @@
+external monotonic_ns : unit -> int64 = "crs_obs_monotonic_ns"
+external cputime_ns : unit -> int64 = "crs_obs_cputime_ns"

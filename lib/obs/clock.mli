@@ -1,0 +1,11 @@
+(** Clock stubs shared by the tracer and the overhead bench. *)
+
+val monotonic_ns : unit -> int64
+(** [CLOCK_MONOTONIC]: never jumps on NTP adjustments; arbitrary epoch.
+    The tracer timestamps spans with this. *)
+
+val cputime_ns : unit -> int64
+(** [CLOCK_PROCESS_CPUTIME_ID]: CPU time consumed by the whole process.
+    The overhead bench gates on this instead of wall time — on shared
+    hardware, wall-clock minima drift by more than the 2% bound being
+    checked. *)

@@ -1,0 +1,26 @@
+/* Monotonic clock for the tracer. CLOCK_MONOTONIC never jumps on NTP
+   adjustments, so span durations stay meaningful; the raw epoch is
+   arbitrary and exporters rebase it. No external dependency: bechamel
+   carries its own clock but linking a bench-only library into every
+   instrumented consumer would invert the dependency order. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value crs_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}
+
+/* Per-process CPU time. The tracing-overhead bench gates on this rather
+   than wall time: on shared hardware wall-clock minima drift several
+   percent between processes, far above the 2% bound being checked. */
+CAMLprim value crs_obs_cputime_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -16,6 +16,7 @@ let () =
       ("generators", Test_generators.suite);
       ("campaign", Test_campaign.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
       ("manycore", Test_manycore.suite);
       ("extension", Test_extension.suite);
       ("render", Test_render.suite);

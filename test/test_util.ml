@@ -75,6 +75,48 @@ let test_misc () =
     (Crs_util.Misc.split_on_string ~sep:"--" "a--b--");
   Alcotest.(check (float 1e-9)) "float_mean" 2.0 (Crs_util.Misc.float_mean [ 1.0; 2.0; 3.0 ])
 
+module J = Crs_util.Stable_json
+
+let test_stable_json_encode () =
+  Alcotest.(check string) "escape" "a\\\"b\\\\c\\nd\\te\\u0001"
+    (J.escape "a\"b\\c\nd\te\x01");
+  Alcotest.(check string) "float is %.6f" "0.333333" (J.float (1.0 /. 3.0));
+  Alcotest.(check string) "obj keeps order" "{\"b\":1,\"a\":2}"
+    (J.obj [ ("b", J.int 1); ("a", J.int 2) ]);
+  Alcotest.(check string) "null options" "null" (J.str_opt None);
+  Alcotest.(check string) "arr" "[1,true,\"x\"]"
+    (J.arr [ J.int 1; J.bool true; J.str "x" ])
+
+let test_stable_json_parse_roundtrip () =
+  let src =
+    J.obj
+      [
+        ("s", J.str "a\"b\nc");
+        ("i", J.int (-42));
+        ("f", J.float 1.5);
+        ("b", J.bool false);
+        ("n", J.str_opt None);
+        ("l", J.arr [ J.int 1; J.obj [ ("k", J.str "v") ] ]);
+      ]
+  in
+  match J.parse src with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok v ->
+    Alcotest.(check string) "round trip" src (J.to_string v);
+    (match J.member "i" v with
+    | Some (J.Int -42) -> ()
+    | _ -> Alcotest.fail "member i");
+    (match J.member "missing" v with
+    | None -> ()
+    | Some _ -> Alcotest.fail "member missing should be None");
+    (* Strictness: trailing garbage and malformed input are errors. *)
+    Alcotest.(check bool) "trailing garbage rejected" true
+      (Result.is_error (J.parse "{} x"));
+    Alcotest.(check bool) "unterminated string rejected" true
+      (Result.is_error (J.parse "\"abc"));
+    Alcotest.(check bool) "bare comma rejected" true
+      (Result.is_error (J.parse "[1,]"))
+
 let suite =
   [
     Alcotest.test_case "pqueue: basics" `Quick test_pqueue_basic;
@@ -84,4 +126,7 @@ let suite =
     Alcotest.test_case "union-find: unions and groups" `Quick test_union_find;
     prop_union_find_partition;
     Alcotest.test_case "misc helpers" `Quick test_misc;
+    Alcotest.test_case "stable json: encoding" `Quick test_stable_json_encode;
+    Alcotest.test_case "stable json: parse round-trip" `Quick
+      test_stable_json_parse_roundtrip;
   ]
