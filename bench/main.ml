@@ -778,6 +778,157 @@ let exp_campaign () =
       Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_campaign.json\n"
 
+(* ---------- serve: solver-as-a-service daemon ---------- *)
+
+let exp_serve () =
+  banner "serve" "solver-as-a-service daemon (crs-serve/1)"
+    "dynamic arrivals (closed-loop, Poisson, bursty — the workload shapes of \
+     dynamic vs batch scheduling) against a long-running daemon; canonically \
+     equivalent instances are answered from the memo cache without re-solving";
+  let module S = Crs_serve.Server in
+  let module L = Crs_serve.Loadgen in
+  let module P = Crs_serve.Protocol in
+  let module J = Crs_util.Stable_json in
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server =
+    S.create
+      { S.workers = 2; queue = 64; cache_capacity = 128;
+        default_fuel = Some 5_000_000 }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        S.serve_io server ~input:server_fd ~output:server_fd;
+        S.drain server)
+  in
+  let client = L.Client.of_fd client_fd in
+  (* Eight distinct m=3 instances, cycled — a repeated-instance workload
+     where all but the first occurrence of each should hit the cache. *)
+  let gen_spec =
+    { Crs_generators.Random_gen.default_spec with m = 3; jobs_min = 3; jobs_max = 3 }
+  in
+  let instances =
+    Array.init 8 (fun i ->
+        Crs_generators.Random_gen.instance ~spec:gen_spec
+          (Random.State.make [| 100 + i |]))
+  in
+  let solve_line instance =
+    J.obj
+      [
+        ("proto", J.str P.version);
+        ("kind", J.str "solve");
+        ("instance", J.str (Instance.to_string instance));
+        ("algorithm", J.str R.Names.greedy_balance);
+      ]
+  in
+  let workload n = List.init n (fun i -> solve_line instances.(i mod 8)) in
+  let closed = L.run client ~arrival:L.Closed_loop ~requests:(workload 400) in
+  let poisson =
+    L.run ~seed:2 client ~arrival:(L.Poisson { rate = 2000.0 })
+      ~requests:(workload 300)
+  in
+  let bursty =
+    L.run ~seed:3 client ~arrival:(L.Bursty { burst = 20; rate = 50.0 })
+      ~requests:(workload 300)
+  in
+  (* Canonical equivalence: a processor permutation and a zero-padded
+     variant of the same instance must get byte-identical responses. *)
+  let base = instances.(0) in
+  let permuted = Instance.sub_processors base [ 2; 1; 0 ] in
+  let padded = Crs_fuzz.Oracle.zero_pad_instance base in
+  let r_base = L.Client.rpc client (solve_line base) in
+  let r_perm = L.Client.rpc client (solve_line permuted) in
+  let r_pad = L.Client.rpc client (solve_line padded) in
+  let byte_identical = String.equal r_base r_perm && String.equal r_base r_pad in
+  let stats_line =
+    J.obj [ ("proto", J.str P.version); ("kind", J.str "stats") ]
+  in
+  let stats_json =
+    match J.parse (L.Client.rpc client stats_line) with
+    | Ok v -> v
+    | Error msg -> failwith ("serve stats response unparseable: " ^ msg)
+  in
+  let cache_int field =
+    match Option.bind (J.member "cache" stats_json) (J.member field) with
+    | Some (J.Int i) -> i
+    | _ -> failwith ("serve stats: missing cache." ^ field)
+  in
+  let hits = cache_int "hits" and misses = cache_int "misses" in
+  let hit_rate = float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses)) in
+  let shutdown_line =
+    J.obj [ ("proto", J.str P.version); ("kind", J.str "shutdown") ]
+  in
+  ignore (L.Client.rpc client shutdown_line);
+  Domain.join daemon;
+  Unix.close client_fd;
+  Unix.close server_fd;
+  let row name (s : L.stats) =
+    [
+      name; string_of_int s.L.sent; string_of_int s.L.received;
+      Printf.sprintf "%.0f" s.L.throughput_rps;
+      Printf.sprintf "%.3f" s.L.p50_ms; Printf.sprintf "%.3f" s.L.p99_ms;
+    ]
+  in
+  print_string
+    (T.render
+       ~header:[ "arrival"; "sent"; "recv"; "req/s"; "p50 ms"; "p99 ms" ]
+       [ row "closed-loop" closed; row "poisson(2000/s)" poisson;
+         row "bursty(20@50/s)" bursty ]);
+  Printf.printf "cache: %d hits / %d misses (hit rate %.3f)\n" hits misses
+    hit_rate;
+  Printf.printf "canonical equivalence responses byte-identical: %b\n"
+    byte_identical;
+  let complete (s : L.stats) = s.L.received = s.L.sent && s.L.sent > 0 in
+  let worst_p99 = Float.max closed.L.p99_ms (Float.max poisson.L.p99_ms bursty.L.p99_ms) in
+  let gate_throughput = closed.L.throughput_rps >= 200.0 in
+  let gate_p99 = worst_p99 <= 250.0 in
+  let gate_cache = hit_rate > 0.0 in
+  let gate_complete = complete closed && complete poisson && complete bursty in
+  Printf.printf
+    "gates: throughput>=200rps %b, p99<=250ms %b (worst %.3f), hit_rate>0 %b, \
+     all_answered %b, byte_identical %b\n"
+    gate_throughput gate_p99 worst_p99 gate_cache gate_complete byte_identical;
+  let stats_obj (s : L.stats) =
+    J.obj
+      [
+        ("sent", J.int s.L.sent);
+        ("received", J.int s.L.received);
+        ("throughput_rps", J.float s.L.throughput_rps);
+        ("p50_ms", J.float s.L.p50_ms);
+        ("p99_ms", J.float s.L.p99_ms);
+        ("max_ms", J.float s.L.max_ms);
+      ]
+  in
+  let json =
+    J.obj
+      [
+        ("closed_loop", stats_obj closed);
+        ("poisson", stats_obj poisson);
+        ("bursty", stats_obj bursty);
+        ( "cache",
+          J.obj
+            [
+              ("hits", J.int hits);
+              ("misses", J.int misses);
+              ("hit_rate", J.float hit_rate);
+            ] );
+        ("byte_identical", J.bool byte_identical);
+        ( "gates",
+          J.obj
+            [
+              ("throughput", J.bool gate_throughput);
+              ("p99", J.bool gate_p99);
+              ("cache_hit_rate", J.bool gate_cache);
+              ("all_answered", J.bool gate_complete);
+              ("byte_identical", J.bool byte_identical);
+            ] );
+      ]
+  in
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf "wrote BENCH_serve.json\n";
+  assert (gate_throughput && gate_p99 && gate_cache && gate_complete
+          && byte_identical)
+
 (* ---------- registry: dispatch overhead ---------- *)
 
 let exp_registry () =
@@ -1269,6 +1420,7 @@ let experiments =
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
     ("campaign", exp_campaign); ("registry", exp_registry);
+    ("serve", exp_serve);
     ("fuzz", exp_fuzz); ("num", fun () -> exp_num ());
     ("obs", fun () -> exp_obs ());
   ]

@@ -1050,6 +1050,121 @@ let trace_cmd =
        ~doc:"Run a workload with the crs_obs tracer enabled and export spans.")
     [ trace_solve_cmd; trace_campaign_cmd ]
 
+(* ---- serve ---- *)
+
+(* Startup failures get distinct exit codes so supervisors can tell a
+   configuration typo (3: unparseable --listen) from an environment
+   conflict (4: bind failed, e.g. the socket path already exists). *)
+let exit_bad_listen = 3
+let exit_bind_failed = 4
+
+let serve_cmd =
+  let module Server = Crs_serve.Server in
+  let d = Server.default_config in
+  let listen =
+    Arg.(
+      value
+      & opt string "unix:/tmp/crsched.sock"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Listen address: $(b,unix:)$(i,PATH) or $(b,tcp:)$(i,HOST:PORT).")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve a single session on stdin/stdout instead of a socket \
+             (useful for pipelines and tests); --listen is ignored.")
+  in
+  let workers =
+    Arg.(
+      value & opt int d.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains for batch work.")
+  in
+  let queue =
+    Arg.(
+      value & opt int d.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: work requests beyond $(docv) per batch are \
+             answered with status $(b,overloaded).")
+  in
+  let cache =
+    Arg.(
+      value & opt int d.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Memo-cache capacity in entries; 0 disables caching.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt int (Option.value d.default_fuel ~default:0)
+      & info [ "fuel" ] ~docv:"TICKS"
+          ~doc:
+            "Default per-request fuel deadline for requests that do not set \
+             one; 0 means unlimited.")
+  in
+  let run listen stdio workers queue cache fuel =
+    if workers < 1 || queue < 1 || cache < 0 || fuel < 0 then begin
+      Printf.eprintf
+        "error: invalid serve parameters (workers %d, queue %d, cache %d, \
+         fuel %d)\n"
+        workers queue cache fuel;
+      exit 1
+    end;
+    let config =
+      {
+        Server.workers;
+        queue;
+        cache_capacity = cache;
+        default_fuel = (if fuel = 0 then None else Some fuel);
+      }
+    in
+    if stdio then begin
+      let server = Server.create config in
+      Server.serve_io server ~input:Unix.stdin ~output:Unix.stdout;
+      Server.drain server
+    end
+    else
+      match Server.parse_address listen with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit exit_bad_listen
+      | Ok addr -> (
+        match Server.bind_address addr with
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit exit_bind_failed
+        | Ok fd ->
+          let server = Server.create config in
+          Printf.eprintf "crsched serve: listening on %s\n%!"
+            (Server.address_to_string addr);
+          Fun.protect
+            ~finally:(fun () ->
+              Server.close_address addr fd;
+              Server.drain server)
+            (fun () -> Server.serve server fd))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the solver-as-a-service daemon (crs-serve/1)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Long-running daemon speaking the line-delimited crs-serve/1 \
+              JSON protocol: one request object per line, one response per \
+              line, in order. Solve and campaign requests run on a bounded \
+              worker pool behind admission control; canonically equivalent \
+              instances (processor permutation, zero-requirement padding) \
+              are answered from a memo cache without re-solving.";
+           `P
+             "Example: echo \
+              '{\"proto\":\"crs-serve/1\",\"kind\":\"solve\",\"instance\":\"1/2 \
+              1/3\\n1/4\"}' | crsched serve --stdio";
+         ])
+    Term.(const run $ listen $ stdio $ workers $ queue $ cache $ fuel)
+
 let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
   Cmd.group (Cmd.info "crsched" ~version:"1.0.0" ~doc)
@@ -1057,6 +1172,7 @@ let main =
       algorithms_cmd; gen_cmd; solve_cmd; compare_cmd; campaign_cmd; fuzz_cmd;
       replay_cmd; render_cmd; graph_cmd; normalize_cmd; reduce_cmd;
       simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd; trace_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -49,6 +49,12 @@ val requirement_monotonicity : t
 (** Raising requirements ([r ↦ min(1, 3r/2)]) never decreases the
     optimal makespan. *)
 
+val zero_pad_instance : Crs_core.Instance.t -> Crs_core.Instance.t
+(** The mutation behind {!zero_pad_invariance}: append one processor
+    holding a single zero-requirement unit job. Exported so other layers
+    (the serve canonicalizer tests) can exercise the same proven-neutral
+    transformation instead of reinventing it. *)
+
 val all : t list
 val names : string list
 val find : string -> t option

@@ -1,0 +1,35 @@
+module Pool = Crs_campaign.Pool
+module Fuel = Crs_util.Fuel
+
+type t = { pool : Pool.t; queue : int }
+
+let create ~queue ~workers =
+  if queue < 1 then invalid_arg "Admission.create: queue < 1";
+  { pool = Pool.create ~domains:workers; queue }
+
+let workers t = Pool.size t.pool
+let queue_capacity t = t.queue
+
+let map t ~f ~shed items =
+  let n = Array.length items in
+  let out = Array.make n None in
+  let admitted = min n t.queue in
+  for i = 0 to admitted - 1 do
+    Pool.submit t.pool (fun () -> out.(i) <- Some (f items.(i)))
+  done;
+  (* Shed inline while the pool chews on the admitted prefix. *)
+  for i = admitted to n - 1 do
+    out.(i) <- Some (shed items.(i))
+  done;
+  (match Pool.await_all t.pool with Some exn -> raise exn | None -> ());
+  Array.map
+    (function Some r -> r | None -> assert false (* every slot filled *))
+    out
+
+let with_deadline budget f =
+  let before = Fuel.ticks () in
+  match Fuel.with_fuel budget (fun () -> Ok (f ())) with
+  | r -> r
+  | exception Fuel.Out_of_fuel -> Error (Fuel.ticks () - before)
+
+let drain t = Pool.shutdown t.pool

@@ -1,0 +1,36 @@
+(** Admission control: a bounded queue in front of a persistent worker
+    pool, plus fuel deadlines.
+
+    The daemon admits at most [queue] work requests per batch; requests
+    beyond that are {i shed} — answered immediately with a cheap
+    [overloaded] response instead of queueing unboundedly. Shedding is
+    deterministic at the batch level: the first [queue] work items of a
+    batch are admitted in arrival order, the rest shed, so tests can
+    assert exact shed counts.
+
+    The pool ({!Crs_campaign.Pool}) is created once and reused across
+    batches; {!drain} joins the workers on shutdown. *)
+
+type t
+
+val create : queue:int -> workers:int -> t
+(** @raise Invalid_argument when [queue < 1] or [workers < 1]. *)
+
+val workers : t -> int
+val queue_capacity : t -> int
+
+val map : t -> f:('a -> 'b) -> shed:('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving map over one batch: element [i < queue] is computed
+    as [f x] on the pool, element [i >= queue] as [shed x] inline.
+    Re-raises the first exception any [f] task raised, after the batch
+    settles ([f] callers are expected to catch their own — the server's
+    work function never raises). *)
+
+val with_deadline : int option -> (unit -> 'a) -> ('a, int) result
+(** Run a thunk under a {!Crs_util.Fuel} budget. [Ok] on completion;
+    [Error ticks] when the budget ran out, where [ticks] is the
+    {!Crs_util.Fuel.ticks} delta actually spent (the budget + 1, since
+    the overrunning tick itself is counted). [None] means no deadline. *)
+
+val drain : t -> unit
+(** Shut the pool down (idempotent). Subsequent {!map} calls raise. *)

@@ -1,0 +1,146 @@
+(* Canonical instance form for the serve memo cache.
+
+   Soundness rests on the two invariances the fuzz oracles pin: row
+   permutation never changes the optimum (schedules carry no processor
+   identity), and a row holding a single zero-requirement unit job is
+   pure padding whenever at least one real job remains. Everything else
+   — requirement values, job order within a row, sizes — is preserved
+   bit-for-bit, so the canonical instance is a genuine instance of the
+   same problem, not a lossy fingerprint. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+
+let is_padding_row row =
+  Array.length row = 1
+  && Job.is_unit_size row.(0)
+  && Q.(equal (Job.requirement row.(0)) zero)
+
+let jobs_in rows = List.fold_left (fun acc r -> acc + Array.length r) 0 rows
+
+(* Lexicographic on the job sequence; shorter rows first on a shared
+   prefix. Any total order works — it only has to be deterministic. *)
+let compare_rows a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then compare la lb
+    else
+      let c = Job.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let canonicalize instance =
+  let rows = Array.to_list (Instance.rows instance) in
+  let kept = List.filter (fun r -> not (is_padding_row r)) rows in
+  (* The zero-pad invariance needs a surviving job: a padding row still
+     costs one step, which IS the optimum when nothing else runs. *)
+  let rows = if jobs_in kept >= 1 then kept else rows in
+  Instance.create (Array.of_list (List.sort compare_rows rows))
+
+let key instance = Instance.to_string (canonicalize instance)
+
+let equivalent a b = String.equal (key a) (key b)
+
+(* ---- bounded LRU cache ---- *)
+
+module Cache = struct
+  (* Intrusive doubly-linked recency list + hashtable, guarded by one
+     mutex. Batches are small and entries cheap, so a single lock is
+     simpler than striping and nowhere near the serve hot path cost. *)
+
+  type 'a node = {
+    nkey : string;
+    mutable value : 'a;
+    mutable prev : 'a node option;  (* towards most-recent *)
+    mutable next : 'a node option;  (* towards least-recent *)
+  }
+
+  type 'a t = {
+    cap : int;
+    table : (string, 'a node) Hashtbl.t;
+    mutable head : 'a node option;  (* most recently used *)
+    mutable tail : 'a node option;  (* least recently used *)
+    mutable count : int;
+    mutable hit_count : int;
+    mutable miss_count : int;
+    mutable eviction_count : int;
+    lock : Mutex.t;
+  }
+
+  let create ~capacity =
+    if capacity < 0 then invalid_arg "Canon.Cache.create: negative capacity";
+    {
+      cap = capacity;
+      table = Hashtbl.create (max 16 capacity);
+      head = None;
+      tail = None;
+      count = 0;
+      hit_count = 0;
+      miss_count = 0;
+      eviction_count = 0;
+      lock = Mutex.create ();
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.head <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.head;
+    node.prev <- None;
+    (match t.head with Some h -> h.prev <- Some node | None -> ());
+    t.head <- Some node;
+    if t.tail = None then t.tail <- Some node
+
+  let capacity t = t.cap
+  let size t = locked t (fun () -> t.count)
+  let hits t = locked t (fun () -> t.hit_count)
+  let misses t = locked t (fun () -> t.miss_count)
+  let evictions t = locked t (fun () -> t.eviction_count)
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some node ->
+          t.hit_count <- t.hit_count + 1;
+          unlink t node;
+          push_front t node;
+          Some node.value
+        | None ->
+          t.miss_count <- t.miss_count + 1;
+          None)
+
+  let add t key value =
+    if t.cap > 0 then
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some node ->
+            node.value <- value;
+            unlink t node;
+            push_front t node
+          | None ->
+            if t.count >= t.cap then begin
+              match t.tail with
+              | Some lru ->
+                unlink t lru;
+                Hashtbl.remove t.table lru.nkey;
+                t.count <- t.count - 1;
+                t.eviction_count <- t.eviction_count + 1
+              | None -> assert false (* count >= cap > 0 implies a tail *)
+            end;
+            let node = { nkey = key; value; prev = None; next = None } in
+            Hashtbl.replace t.table key node;
+            push_front t node;
+            t.count <- t.count + 1)
+end

@@ -1,0 +1,70 @@
+(** Instance canonicalization and the serve memo cache.
+
+    The serve daemon answers canonically equivalent instances from a
+    memo cache instead of re-solving. Equivalence is defined by exactly
+    the two invariances the fuzz oracles prove for the optimal makespan
+    (see {!Crs_fuzz.Oracle.permutation_invariance} and
+    {!Crs_fuzz.Oracle.zero_pad_invariance}):
+
+    - {b processor permutation}: schedules carry no processor identity,
+      so reordering the rows of an instance leaves the optimum
+      unchanged; and
+    - {b zero-requirement padding}: a processor holding a single
+      zero-requirement unit job finishes in step one on a zero share, so
+      it never determines the optimum of an instance that has at least
+      one other job.
+
+    {!canonicalize} normalizes along both axes — drop padding rows, sort
+    the remaining rows — so equivalent instances collapse to one
+    representative, and {!key} serializes that representative into the
+    cache key. The canonicalizer is {i sound, not complete}: two
+    instances with equal keys are provably equivalent, but some
+    equivalent pairs (e.g. instances consisting only of padding rows)
+    keep distinct keys and are simply not shared in the cache.
+
+    Exact solvers are answer-preserving under canonicalization by the
+    oracle invariances. Heuristics may tie-break on processor index, so
+    the daemon defines their answer as the result {i on the canonical
+    form}: equivalent inputs always get the same (byte-identical)
+    response, which may differ from running the heuristic on one
+    particular row order by hand. *)
+
+val canonicalize : Crs_core.Instance.t -> Crs_core.Instance.t
+(** Drop every processor row that is exactly one zero-requirement unit
+    job — as long as at least one job remains afterwards, the proviso of
+    the zero-pad invariance — then sort the remaining rows by their job
+    sequences ([Job.compare] lexicographically). Idempotent. *)
+
+val key : Crs_core.Instance.t -> string
+(** Serialized canonical form ({!Crs_core.Instance.to_string} of
+    {!canonicalize}); equal keys imply equal optimal makespans. *)
+
+val equivalent : Crs_core.Instance.t -> Crs_core.Instance.t -> bool
+(** [key a = key b]. *)
+
+(** Bounded LRU memo cache, keyed by strings (the daemon uses
+    [algorithm / fuel / options / canonical key] compounds). Thread-safe:
+    every operation takes an internal mutex, so worker domains may probe
+    and fill concurrently. Capacity 0 disables caching ({!find} always
+    misses, {!add} is a no-op). *)
+module Cache : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument on a negative capacity. *)
+
+  val capacity : 'a t -> int
+  val size : 'a t -> int
+
+  val find : 'a t -> string -> 'a option
+  (** Probe; a hit refreshes the entry's recency. Counted in {!hits} /
+      {!misses}. *)
+
+  val add : 'a t -> string -> 'a -> unit
+  (** Insert or overwrite, evicting the least-recently-used entry when
+      the cache is full. *)
+
+  val hits : 'a t -> int
+  val misses : 'a t -> int
+  val evictions : 'a t -> int
+end

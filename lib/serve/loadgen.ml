@@ -1,0 +1,203 @@
+let monotonic_ns = Crs_obs.Trace.monotonic_ns
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+module Client = struct
+  type t = { fd : Unix.file_descr; buf : Buffer.t; mutable eof : bool }
+
+  let of_fd fd = { fd; buf = Buffer.create 4096; eof = false }
+  let send_line t line = write_all t.fd (line ^ "\n")
+
+  (* Pop one complete line from the buffer, if any. *)
+  let pop_line t =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some nl ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (nl + 1) (String.length s - nl - 1);
+      Some (String.sub s 0 nl)
+
+  let refill t =
+    let chunk = Bytes.create 65536 in
+    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+      t.eof <- true;
+      false
+    | n ->
+      Buffer.add_subbytes t.buf chunk 0 n;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+
+  let rec recv_line t =
+    match pop_line t with
+    | Some line -> Some line
+    | None ->
+      if t.eof then
+        if Buffer.length t.buf > 0 then begin
+          let last = Buffer.contents t.buf in
+          Buffer.clear t.buf;
+          Some last
+        end
+        else None
+      else if refill t then recv_line t
+      else recv_line t (* eof just set; flush any unterminated tail *)
+
+  let rpc t line =
+    send_line t line;
+    match recv_line t with
+    | Some response -> response
+    | None -> failwith "Loadgen.Client.rpc: connection closed"
+end
+
+type arrival =
+  | Closed_loop
+  | Poisson of { rate : float }
+  | Bursty of { burst : int; rate : float }
+
+type stats = {
+  sent : int;
+  received : int;
+  duration_ns : int64;
+  throughput_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let exp_gap_ns st rate =
+  let u = Random.State.float st 1.0 in
+  Int64.of_float (-.log (1.0 -. u) /. rate *. 1e9)
+
+(* Planned send offsets (ns from workload start) for an open-loop
+   arrival process; [Closed_loop] has no plan — the response clocks it. *)
+let offsets st arrival n =
+  match arrival with
+  | Closed_loop -> [||]
+  | Poisson { rate } ->
+    let t = ref 0L in
+    Array.init n (fun _ ->
+        t := Int64.add !t (exp_gap_ns st rate);
+        !t)
+  | Bursty { burst; rate } ->
+    let burst = max 1 burst in
+    let t = ref 0L in
+    Array.init n (fun i ->
+        if i mod burst = 0 then t := Int64.add !t (exp_gap_ns st rate);
+        !t)
+
+let finish ~sent ~received ~first_send ~last_recv latencies =
+  let duration_ns =
+    if Int64.compare last_recv first_send > 0 then
+      Int64.sub last_recv first_send
+    else 0L
+  in
+  let duration_s = Int64.to_float duration_ns /. 1e9 in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  {
+    sent;
+    received;
+    duration_ns;
+    throughput_rps =
+      (if duration_s > 0.0 then float_of_int received /. duration_s else 0.0);
+    p50_ms = percentile sorted 0.50;
+    p99_ms = percentile sorted 0.99;
+    max_ms = percentile sorted 1.0;
+  }
+
+let run ?(seed = 1) (client : Client.t) ~arrival ~requests =
+  let requests = Array.of_list requests in
+  let n = Array.length requests in
+  if n = 0 then
+    finish ~sent:0 ~received:0 ~first_send:0L ~last_recv:0L [||]
+  else
+    match arrival with
+    | Closed_loop ->
+      let latencies = Array.make n 0.0 in
+      let first_send = ref 0L and last_recv = ref 0L in
+      let received = ref 0 in
+      Array.iteri
+        (fun i line ->
+          let t0 = monotonic_ns () in
+          if i = 0 then first_send := t0;
+          Client.send_line client line;
+          match Client.recv_line client with
+          | None -> ()
+          | Some _ ->
+            let t1 = monotonic_ns () in
+            last_recv := t1;
+            latencies.(i) <- Int64.to_float (Int64.sub t1 t0) /. 1e6;
+            incr received)
+        requests;
+      finish ~sent:n ~received:!received ~first_send:!first_send
+        ~last_recv:!last_recv
+        (Array.sub latencies 0 !received)
+    | Poisson _ | Bursty _ ->
+      let st = Random.State.make [| seed |] in
+      let plan = offsets st arrival n in
+      let send_times = Array.make n 0L in
+      let latencies = Array.make n 0.0 in
+      let sent = ref 0 and received = ref 0 in
+      let start = monotonic_ns () in
+      let last_recv = ref start in
+      let absorb_ready () =
+        let rec pop () =
+          match Client.pop_line client with
+          | Some _ ->
+            let now = monotonic_ns () in
+            last_recv := now;
+            if !received < n then begin
+              latencies.(!received) <-
+                Int64.to_float (Int64.sub now send_times.(!received)) /. 1e6;
+              incr received
+            end;
+            pop ()
+          | None -> ()
+        in
+        pop ()
+      in
+      while !received < n && not client.eof do
+        absorb_ready ();
+        if !received < n && not client.eof then begin
+          let now = monotonic_ns () in
+          if !sent < n && Int64.compare (Int64.sub now start) plan.(!sent) >= 0
+          then begin
+            send_times.(!sent) <- now;
+            Client.send_line client requests.(!sent);
+            incr sent
+          end
+          else begin
+            let timeout =
+              if !sent < n then
+                let wait_ns =
+                  Int64.sub (Int64.add start plan.(!sent)) now
+                in
+                max 0.0 (Int64.to_float wait_ns /. 1e9)
+              else 1.0
+            in
+            match Unix.select [ client.fd ] [] [] timeout with
+            | [], _, _ -> ()
+            | _ -> ignore (Client.refill client)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          end
+        end
+      done;
+      absorb_ready ();
+      finish ~sent:!sent ~received:!received ~first_send:start
+        ~last_recv:!last_recv
+        (Array.sub latencies 0 !received)

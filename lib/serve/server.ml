@@ -1,0 +1,404 @@
+module J = Crs_util.Stable_json
+module Registry = Crs_algorithms.Registry
+module Trace = Crs_obs.Trace
+module Metrics = Crs_obs.Metrics
+
+type config = {
+  workers : int;
+  queue : int;
+  cache_capacity : int;
+  default_fuel : int option;
+}
+
+let default_config =
+  { workers = 2; queue = 64; cache_capacity = 256; default_fuel = Some 5_000_000 }
+
+(* Response status, tracked alongside the payload so stats counters and
+   span attributes don't have to re-parse the JSON they just built. *)
+type status = Ok_ | Error_ | Timeout_ | Overloaded_ | Not_applicable_
+
+let status_label = function
+  | Ok_ -> "ok"
+  | Error_ -> "error"
+  | Timeout_ -> "timeout"
+  | Overloaded_ -> "overloaded"
+  | Not_applicable_ -> "not_applicable"
+
+type counters = {
+  requests : int Atomic.t;
+  ok : int Atomic.t;
+  errors : int Atomic.t;
+  timeouts : int Atomic.t;
+  overloaded : int Atomic.t;
+  not_applicable : int Atomic.t;
+}
+
+type t = {
+  config : config;
+  admission : Admission.t;
+  cache : (status * (string * string) list) Canon.Cache.t;
+  stop : bool Atomic.t;
+  c : counters;
+  m_requests : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_overloaded : Metrics.counter;
+  m_timeouts : Metrics.counter;
+}
+
+let create config =
+  {
+    config;
+    admission = Admission.create ~queue:config.queue ~workers:config.workers;
+    cache = Canon.Cache.create ~capacity:config.cache_capacity;
+    stop = Atomic.make false;
+    c =
+      {
+        requests = Atomic.make 0;
+        ok = Atomic.make 0;
+        errors = Atomic.make 0;
+        timeouts = Atomic.make 0;
+        overloaded = Atomic.make 0;
+        not_applicable = Atomic.make 0;
+      };
+    m_requests = Metrics.counter "serve.requests";
+    m_cache_hits = Metrics.counter "serve.cache_hits";
+    m_cache_misses = Metrics.counter "serve.cache_misses";
+    m_overloaded = Metrics.counter "serve.overloaded";
+    m_timeouts = Metrics.counter "serve.timeouts";
+  }
+
+let stopping t = Atomic.get t.stop
+let drain t = Admission.drain t.admission
+
+let count t status =
+  Atomic.incr t.c.requests;
+  Metrics.incr t.m_requests;
+  match status with
+  | Ok_ -> Atomic.incr t.c.ok
+  | Error_ -> Atomic.incr t.c.errors
+  | Timeout_ ->
+    Atomic.incr t.c.timeouts;
+    Metrics.incr t.m_timeouts
+  | Overloaded_ ->
+    Atomic.incr t.c.overloaded;
+    Metrics.incr t.m_overloaded
+  | Not_applicable_ -> Atomic.incr t.c.not_applicable
+
+let stats_payload t =
+  [
+    ("status", J.str "ok");
+    ("requests", J.int (Atomic.get t.c.requests));
+    ("ok", J.int (Atomic.get t.c.ok));
+    ("errors", J.int (Atomic.get t.c.errors));
+    ("timeouts", J.int (Atomic.get t.c.timeouts));
+    ("overloaded", J.int (Atomic.get t.c.overloaded));
+    ("not_applicable", J.int (Atomic.get t.c.not_applicable));
+    ( "cache",
+      J.obj
+        [
+          ("capacity", J.int (Canon.Cache.capacity t.cache));
+          ("size", J.int (Canon.Cache.size t.cache));
+          ("hits", J.int (Canon.Cache.hits t.cache));
+          ("misses", J.int (Canon.Cache.misses t.cache));
+          ("evictions", J.int (Canon.Cache.evictions t.cache));
+        ] );
+    ("workers", J.int (Admission.workers t.admission));
+    ("queue", J.int (Admission.queue_capacity t.admission));
+  ]
+
+(* ---- solve ---- *)
+
+(* The answer is computed on the canonical form — witness included — so
+   canonically equivalent requests produce byte-identical payloads (and
+   share one cache entry). *)
+let do_solve t (s : Protocol.solve) =
+  let canonical = Canon.canonicalize s.instance in
+  let key = Crs_core.Instance.to_string canonical in
+  let canon_digest = Digest.to_hex (Digest.string key) in
+  let fuel =
+    match s.fuel with Some _ as f -> f | None -> t.config.default_fuel
+  in
+  let cache_key =
+    Printf.sprintf "%s|%s|%b%b|%s" s.algorithm
+      (match fuel with Some f -> string_of_int f | None -> "-")
+      s.witness s.certify key
+  in
+  let cached =
+    if s.cache then Canon.Cache.find t.cache cache_key else None
+  in
+  match cached with
+  | Some (status, payload) ->
+    Metrics.incr t.m_cache_hits;
+    Trace.add_attrs [ ("cache", Trace.Str "hit") ];
+    (status, payload)
+  | None ->
+    if s.cache then Metrics.incr t.m_cache_misses;
+    Trace.add_attrs [ ("cache", Trace.Str (if s.cache then "miss" else "off")) ];
+    let result =
+      match Registry.find s.algorithm with
+      | None ->
+        ( Error_,
+          Protocol.error
+            (Printf.sprintf "unknown algorithm %S (valid: %s)" s.algorithm
+               (String.concat ", " Registry.names)) )
+      | Some solver -> (
+        match Registry.applicability solver canonical with
+        | Error reason -> (Not_applicable_, Protocol.not_applicable reason)
+        | Ok () -> (
+          match
+            Admission.with_deadline fuel (fun () ->
+                Registry.solve ~certify:s.certify solver canonical)
+          with
+          | Ok outcome ->
+            Trace.add_attrs
+              [ ("fuel_ticks", Trace.Int outcome.counters.fuel_ticks) ];
+            ( Ok_,
+              Protocol.ok_solve ~algorithm:s.algorithm
+                ~makespan:outcome.makespan
+                ~schedule:(if s.witness then outcome.schedule else None)
+                ~counters:outcome.counters ~canon_digest )
+          | Error ticks ->
+            Trace.add_attrs [ ("fuel_ticks", Trace.Int ticks) ];
+            ( Timeout_,
+              Protocol.timeout ~fuel:(Option.get fuel) ~fuel_ticks:ticks )
+          | exception exn -> (Error_, Protocol.error (Printexc.to_string exn))))
+    in
+    (* Timeouts are cached too: re-running out the same budget on the
+       same instance is the most expensive way to repeat an answer. *)
+    (match result with
+    | (Ok_ | Timeout_ | Not_applicable_), _ when s.cache ->
+      Canon.Cache.add t.cache cache_key result
+    | _ -> ());
+    result
+
+let do_campaign spec =
+  match Crs_campaign.Runner.run ~domains:1 spec with
+  | records ->
+    let summary = Crs_campaign.Report.summarize records in
+    (Ok_, Protocol.ok_campaign summary)
+  | exception exn -> (Error_, Protocol.error (Printexc.to_string exn))
+
+(* ---- batches ---- *)
+
+type item = { id : int option; req_kind : string; line_index : int }
+
+let do_work t (item, req) =
+  let attrs =
+    [
+      ("kind", Trace.Str item.req_kind);
+      (match req with
+      | Protocol.Solve s -> ("algorithm", Trace.Str s.algorithm)
+      | _ -> ("algorithm", Trace.Str "-"));
+    ]
+  in
+  Trace.with_span ~attrs "serve.request" (fun () ->
+      let status, payload =
+        match req with
+        | Protocol.Solve s -> do_solve t s
+        | Protocol.Campaign spec -> do_campaign spec
+        | _ -> assert false (* only work kinds reach the pool *)
+      in
+      Trace.add_attrs [ ("status", Trace.Str (status_label status)) ];
+      (status, payload))
+
+let shed_work (item, _req) =
+  ignore item;
+  (Overloaded_, Protocol.overloaded ())
+
+let process_batch t lines =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") lines
+  in
+  let parsed =
+    List.mapi (fun i line -> (i, Protocol.parse line)) lines
+  in
+  (* Work requests go through admission on the pool; everything else is
+     answered inline afterwards, so a stats request reports the solves
+     that arrived in the same batch. *)
+  let work =
+    List.filter_map
+      (fun (i, (p : Protocol.parsed)) ->
+        match p.body with
+        | Ok ((Protocol.Solve _ | Protocol.Campaign _) as req) ->
+          Some
+            ( { id = p.id; req_kind = Protocol.kind_of_request req; line_index = i },
+              req )
+        | _ -> None)
+      parsed
+  in
+  let work = Array.of_list work in
+  let work_results = Admission.map t.admission ~f:(do_work t) ~shed:shed_work work in
+  let by_line = Hashtbl.create 16 in
+  Array.iteri
+    (fun j result ->
+      let item, _ = work.(j) in
+      Hashtbl.replace by_line item.line_index result)
+    work_results;
+  let answer (i, (p : Protocol.parsed)) =
+    let status, req_kind, payload =
+      match p.body with
+      | Error msg -> (Error_, "unknown", Protocol.error msg)
+      | Ok Protocol.Hello ->
+        (Ok_, "hello", Protocol.ok_hello ~algorithms:Registry.names)
+      | Ok Protocol.Stats -> (Ok_, "stats", stats_payload t)
+      | Ok Protocol.Shutdown ->
+        Atomic.set t.stop true;
+        (Ok_, "shutdown", [ ("status", J.str "ok"); ("stopping", J.bool true) ])
+      | Ok ((Protocol.Solve _ | Protocol.Campaign _) as req) ->
+        let status, payload = Hashtbl.find by_line i in
+        (status, Protocol.kind_of_request req, payload)
+    in
+    count t status;
+    Protocol.respond ~id:p.id ~req:req_kind payload
+  in
+  List.map answer parsed
+
+let handle_line t line =
+  match process_batch t [ line ] with
+  | [ response ] -> response
+  | _ -> Protocol.respond ~id:None ~req:"unknown" (Protocol.error "empty request")
+
+(* ---- streams ---- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let serve_io t ~input ~output =
+  let pending = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec split_lines acc =
+    let s = Buffer.contents pending in
+    match String.index_opt s '\n' with
+    | None -> List.rev acc
+    | Some nl ->
+      let line = String.sub s 0 nl in
+      Buffer.clear pending;
+      Buffer.add_substring pending s (nl + 1) (String.length s - nl - 1);
+      split_lines (line :: acc)
+  in
+  let respond_batch lines =
+    match process_batch t lines with
+    | [] -> ()
+    | responses ->
+      write_all output (String.concat "\n" responses ^ "\n")
+  in
+  let rec loop () =
+    if not (stopping t) then
+      match Unix.read input chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        (* EOF: a final unterminated line is still a request. *)
+        if Buffer.length pending > 0 then begin
+          let last = Buffer.contents pending in
+          Buffer.clear pending;
+          respond_batch [ last ]
+        end
+      | n ->
+        Buffer.add_subbytes pending chunk 0 n;
+        (match split_lines [] with
+        | [] -> ()
+        | lines -> respond_batch lines);
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ---- sockets ---- *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse_address s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unrecognized listen address %S (expected unix:PATH or tcp:HOST:PORT)"
+         s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" -> if rest = "" then fail () else Ok (Unix_sock rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> fail ()
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port_s with
+        | Some port when host <> "" && port >= 0 && port <= 65535 ->
+          Ok (Tcp (host, port))
+        | _ -> fail ()))
+    | _ -> fail ())
+
+let bind_address addr =
+  let describe e =
+    Printf.sprintf "cannot bind %s: %s" (address_to_string addr)
+      (Unix.error_message e)
+  in
+  match addr with
+  | Unix_sock path -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* Deliberately no unlink: an existing path means another daemon (or
+       stale state the operator should look at) and must surface as a
+       bind failure, not be clobbered. *)
+    match
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      Error (describe e))
+  | Tcp (host, port) -> (
+    match
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with
+    | exception _ ->
+      Error
+        (Printf.sprintf "cannot bind %s: unknown host %S"
+           (address_to_string addr) host)
+    | inet -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      match
+        Unix.bind fd (Unix.ADDR_INET (inet, port));
+        Unix.listen fd 16
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        Error (describe e)))
+
+let serve t fd =
+  while not (stopping t) do
+    match Unix.select [ fd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+      let conn, _ = Unix.accept fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+        (fun () ->
+          try serve_io t ~input:conn ~output:conn
+          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let close_address addr fd =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,80 @@
+(** The serve daemon: batched request processing over byte streams and
+    sockets.
+
+    One server value owns the worker pool ({!Admission}), the
+    canonicalizing memo cache ({!Canon.Cache}) and the running stats
+    counters. Requests arrive as lines; every chunk of complete lines
+    read from the stream is processed as one {i batch}: work requests
+    (solve, campaign) go through admission — the first [queue] of a
+    batch run on the pool, the rest are answered [overloaded] — and
+    control requests (hello, stats, shutdown, malformed lines) are
+    answered inline after the batch's work settles, so a [stats] request
+    observes the solves that travelled with it. Responses always come
+    back in request order.
+
+    Connections are served one at a time; parallelism lives inside a
+    batch (pipelined requests on one connection), which keeps responses
+    ordered without a per-connection demultiplexer. *)
+
+type config = {
+  workers : int;  (** pool domains for batch work *)
+  queue : int;  (** admission bound per batch *)
+  cache_capacity : int;  (** memo-cache entries; 0 disables *)
+  default_fuel : int option;
+      (** deadline for requests that don't set ["fuel"]; [None] = none *)
+}
+
+val default_config : config
+(** workers 2, queue 64, cache 256, default fuel [Some 5_000_000]. *)
+
+type t
+
+val create : config -> t
+
+(** {2 Request processing} *)
+
+val process_batch : t -> string list -> string list
+(** Answer one batch of request lines, in order. Blank lines get no
+    response (and occupy no admission slot). *)
+
+val handle_line : t -> string -> string
+(** Single-request batch. *)
+
+val stopping : t -> bool
+(** A [shutdown] request has been answered; loops should drain. *)
+
+val stats_payload : t -> (string * string) list
+(** The [stats] response payload (also reachable in-process, e.g. for
+    benches that want cache numbers without a socket round-trip). *)
+
+val drain : t -> unit
+(** Join the worker pool (idempotent). Call after the serve loop. *)
+
+(** {2 Streams and sockets} *)
+
+val serve_io : t -> input:Unix.file_descr -> output:Unix.file_descr -> unit
+(** Serve until EOF on [input] or a [shutdown] request: read chunks,
+    batch complete lines, write responses. Partial trailing lines are
+    buffered across reads; a final unterminated line at EOF is processed
+    as its own batch. *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+val address_to_string : address -> string
+
+val parse_address : string -> (address, string) result
+(** [unix:PATH] or [tcp:HOST:PORT]. The error names the offending
+    value. *)
+
+val bind_address : address -> (Unix.file_descr, string) result
+(** Bind and listen. A Unix socket path that already exists is a bind
+    error (the server never unlinks a path it did not create) — the
+    error names the address and the system cause. *)
+
+val serve : t -> Unix.file_descr -> unit
+(** Accept loop on a listening socket: serve each connection with
+    {!serve_io} until a [shutdown] request arrives (checked between
+    accepts and after each connection). *)
+
+val close_address : address -> Unix.file_descr -> unit
+(** Close the listening socket and remove a Unix socket path. *)

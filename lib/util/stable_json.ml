@@ -170,7 +170,10 @@ let parse text =
   | v, i ->
     let i = skip_ws i in
     if i = n then Ok v
-    else Error (Printf.sprintf "offset %d: trailing garbage" i)
+    else
+      Error
+        (Printf.sprintf "offset %d: trailing garbage %C after top-level value"
+           i text.[i])
   | exception Bad (i, msg) -> Error (Printf.sprintf "offset %d: %s" i msg)
 
 let rec to_string = function

@@ -58,7 +58,12 @@ val parse : string -> (t, string) result
 (** Strict recursive-descent parser for the subset this module writes
     (which is all of JSON except string escapes beyond quote, backslash,
     slash, [b f n r t] and [u00XX]). Requires exactly one value plus
-    trailing whitespace; [Error] carries the byte offset and cause. *)
+    trailing whitespace: any other byte after the first complete
+    top-level value is rejected as trailing garbage, with the offending
+    character and its byte offset in the message — so in line-delimited
+    protocols one malformed line fails loudly instead of silently
+    bleeding into the next. [Error] always carries the byte offset and
+    cause. *)
 
 val to_string : t -> string
 (** Re-encode a parsed value with this module's combinators ([Obj] keys

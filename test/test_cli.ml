@@ -175,6 +175,46 @@ let test_simulate () =
   Alcotest.(check bool) "policy table" true
     (has "fair-share" out && has "greedy-balance" out)
 
+(* serve startup failures: distinct exit codes, messages naming the
+   offending value. 3 = unparseable --listen, 4 = bind failure. *)
+let test_serve_exit_codes () =
+  let code, out = run_capture "serve --listen bogus-address" in
+  Alcotest.(check int) "bad --listen exits 3" 3 code;
+  Alcotest.(check bool) "names the bad address" true (has "bogus-address" out);
+  let code, out = run_capture "serve --listen tcp:localhost:notaport" in
+  Alcotest.(check int) "bad tcp port exits 3" 3 code;
+  Alcotest.(check bool) "names the bad tcp address" true
+    (has "tcp:localhost:notaport" out);
+  (* An existing socket path is a bind conflict, never clobbered. *)
+  let sock = Filename.temp_file "crsched" ".sock" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let code, out = run_capture (Printf.sprintf "serve --listen unix:%s" sock) in
+      Alcotest.(check int) "occupied socket path exits 4" 4 code;
+      Alcotest.(check bool) "names the occupied path" true (has sock out);
+      Alcotest.(check bool) "socket path not clobbered" true (Sys.file_exists sock))
+
+let test_serve_stdio () =
+  let reqs = Filename.temp_file "serve" ".jsonl" in
+  Out_channel.with_open_text reqs (fun oc ->
+      Out_channel.output_string oc
+        ("{\"proto\":\"crs-serve/1\",\"kind\":\"hello\"}\n"
+        ^ "{\"proto\":\"crs-serve/1\",\"id\":1,\"kind\":\"solve\",\
+           \"instance\":\"1/2 1/2\\n1/2\"}\n"
+        ^ "{\"proto\":\"crs-serve/1\",\"kind\":\"shutdown\"}\n"));
+  Fun.protect
+    ~finally:(fun () -> Sys.remove reqs)
+    (fun () ->
+      let code, out =
+        run_capture (Printf.sprintf "serve --stdio < %s" (Filename.quote reqs))
+      in
+      Alcotest.(check int) "stdio session exits 0" 0 code;
+      Alcotest.(check bool) "speaks crs-serve/1" true (has "crs-serve/1" out);
+      Alcotest.(check bool) "solve answered" true (has "\"makespan\":2" out);
+      Alcotest.(check bool) "shutdown acknowledged" true
+        (has "\"stopping\":true" out))
+
 let suite =
   [
     Alcotest.test_case "gen | solve" `Quick test_gen_and_solve;
@@ -189,4 +229,6 @@ let suite =
     Alcotest.test_case "export | verify roundtrip" `Quick test_export_verify_roundtrip;
     Alcotest.test_case "bad inputs fail cleanly" `Quick test_bad_inputs;
     Alcotest.test_case "simulate" `Quick test_simulate;
+    Alcotest.test_case "serve: startup exit codes" `Quick test_serve_exit_codes;
+    Alcotest.test_case "serve --stdio session" `Quick test_serve_stdio;
   ]

@@ -17,6 +17,7 @@ let () =
       ("campaign", Test_campaign.suite);
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("manycore", Test_manycore.suite);
       ("extension", Test_extension.suite);
       ("render", Test_render.suite);

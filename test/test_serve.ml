@@ -1,0 +1,407 @@
+(* crs_serve: canonicalizer oracle tests, the LRU memo cache, protocol
+   strictness, fuel deadlines, and an in-tree daemon smoke test over a
+   socketpair — so serve regressions fail tier-1. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+module Canon = Crs_serve.Canon
+module Protocol = Crs_serve.Protocol
+module Server = Crs_serve.Server
+module Loadgen = Crs_serve.Loadgen
+module J = Crs_util.Stable_json
+module R = Crs_algorithms.Registry
+
+let random_instance ?(m = 3) seed =
+  let spec =
+    { Crs_generators.Random_gen.default_spec with m; jobs_min = 2; jobs_max = 4 }
+  in
+  Crs_generators.Random_gen.instance ~spec (Random.State.make [| seed |])
+
+(* ---- canonicalizer ---- *)
+
+let test_canon_idempotent () =
+  for seed = 1 to 20 do
+    let i = random_instance seed in
+    let c = Canon.canonicalize i in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: canonicalize idempotent" seed)
+      true
+      (Instance.equal c (Canon.canonicalize c))
+  done
+
+(* Satellite: Canon.key is invariant under exactly the mutations the
+   fuzz oracles prove neutral — processor permutation and
+   zero-requirement padding (reusing the crs_fuzz helper). *)
+let test_canon_key_invariance () =
+  for seed = 1 to 40 do
+    let i = random_instance seed in
+    let m = Instance.m i in
+    let reversed = Instance.sub_processors i (List.init m (fun k -> m - 1 - k)) in
+    let rotated = Instance.sub_processors i (List.init m (fun k -> (k + 1) mod m)) in
+    let padded = Crs_fuzz.Oracle.zero_pad_instance i in
+    let padded_reversed = Crs_fuzz.Oracle.zero_pad_instance reversed in
+    let key = Canon.key i in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: key invariant under reversal" seed)
+      key (Canon.key reversed);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: key invariant under rotation" seed)
+      key (Canon.key rotated);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: key invariant under zero-padding" seed)
+      key (Canon.key padded);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: key invariant under pad+permute" seed)
+      key (Canon.key padded_reversed);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: equivalent agrees" seed)
+      true
+      (Canon.equivalent i padded_reversed)
+  done
+
+let test_canon_distinguishes () =
+  let a = random_instance 1 and b = random_instance 2 in
+  Alcotest.(check bool) "different instances, different keys" false
+    (Canon.equivalent a b)
+
+let test_canon_padding_only_instance () =
+  (* An all-padding instance must keep its rows (makespan 1 ≠ empty). *)
+  let padding = Instance.create [| [| Job.unit Q.zero |] |] in
+  let c = Canon.canonicalize padding in
+  Alcotest.(check int) "padding-only instance keeps its row" 1
+    (Instance.total_jobs c)
+
+(* ---- LRU cache ---- *)
+
+let test_cache_lru () =
+  let c = Canon.Cache.create ~capacity:2 in
+  Canon.Cache.add c "a" 1;
+  Canon.Cache.add c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Canon.Cache.find c "a");
+  (* "b" is now least-recently used; inserting "c" evicts it. *)
+  Canon.Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Canon.Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Canon.Cache.find c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Canon.Cache.find c "c");
+  Alcotest.(check int) "size" 2 (Canon.Cache.size c);
+  Alcotest.(check int) "hits" 3 (Canon.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Canon.Cache.misses c);
+  Alcotest.(check int) "evictions" 1 (Canon.Cache.evictions c)
+
+let test_cache_disabled () =
+  let c = Canon.Cache.create ~capacity:0 in
+  Canon.Cache.add c "a" 1;
+  Alcotest.(check (option int)) "capacity 0 never stores" None
+    (Canon.Cache.find c "a");
+  Alcotest.(check int) "size stays 0" 0 (Canon.Cache.size c)
+
+(* ---- protocol ---- *)
+
+let parse_ok line =
+  match (Protocol.parse line).body with
+  | Ok req -> req
+  | Error msg -> Alcotest.failf "expected Ok, got: %s" msg
+
+let parse_err line =
+  match (Protocol.parse line).body with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error msg -> msg
+
+let test_protocol_solve_defaults () =
+  match
+    parse_ok {|{"proto":"crs-serve/1","kind":"solve","instance":"1/2\n1/3"}|}
+  with
+  | Protocol.Solve s ->
+    Alcotest.(check string) "default algorithm" R.Names.greedy_balance
+      s.algorithm;
+    Alcotest.(check bool) "witness off" false s.witness;
+    Alcotest.(check bool) "cache on" true s.cache;
+    Alcotest.(check int) "instance parsed" 2 (Instance.m s.instance)
+  | _ -> Alcotest.fail "expected Solve"
+
+let test_protocol_strictness () =
+  let msg = parse_err {|{"proto":"crs-serve/0","kind":"hello"}|} in
+  Alcotest.(check bool) "proto mismatch names the version" true
+    (Helpers.contains ~needle:"crs-serve/1" msg);
+  let msg = parse_err {|{"proto":"crs-serve/1","kind":"frobnicate"}|} in
+  Alcotest.(check bool) "unknown kind named" true
+    (Helpers.contains ~needle:"frobnicate" msg);
+  let msg = parse_err {|{"proto":"crs-serve/1","kind":"solve"}|} in
+  Alcotest.(check bool) "missing instance named" true
+    (Helpers.contains ~needle:"instance" msg);
+  let msg = parse_err {|{"kind":"hello"}|} in
+  Alcotest.(check bool) "missing proto named" true
+    (Helpers.contains ~needle:"proto" msg);
+  (* The id survives body-level rejection, so the error is correlatable. *)
+  let p = Protocol.parse {|{"proto":"crs-serve/1","id":42,"kind":"nope"}|} in
+  Alcotest.(check (option int)) "id recovered from bad body" (Some 42) p.id;
+  let msg = parse_err {|{"proto":"crs-serve/1","kind":"hello"} trailing|} in
+  Alcotest.(check bool) "trailing garbage carries offset" true
+    (Helpers.contains ~needle:"offset" msg)
+
+let test_protocol_campaign_cap () =
+  let msg =
+    parse_err
+      {|{"proto":"crs-serve/1","kind":"campaign","seed_lo":1,"seed_hi":100000,"algorithms":["greedy-balance"]}|}
+  in
+  Alcotest.(check bool) "oversized campaign rejected with cap" true
+    (Helpers.contains ~needle:"cap" msg)
+
+(* ---- server batches (deterministic, no sockets) ---- *)
+
+let with_server config f =
+  let server = Server.create config in
+  Fun.protect ~finally:(fun () -> Server.drain server) (fun () -> f server)
+
+let small_config =
+  { Server.workers = 1; queue = 8; cache_capacity = 16; default_fuel = None }
+
+let solve_line ?(extra = []) instance =
+  J.obj
+    ([
+       ("proto", J.str Protocol.version);
+       ("kind", J.str "solve");
+       ("instance", J.str (Instance.to_string instance));
+     ]
+    @ extra)
+
+let response_status line =
+  match J.parse line with
+  | Ok json -> (
+    match J.member "status" json with
+    | Some (J.Str s) -> s
+    | _ -> Alcotest.failf "response without status: %s" line)
+  | Error msg -> Alcotest.failf "unparseable response %s: %s" line msg
+
+let test_server_byte_identical_responses () =
+  with_server small_config (fun server ->
+      let base = random_instance 5 in
+      let m = Instance.m base in
+      let permuted =
+        Instance.sub_processors base (List.init m (fun k -> m - 1 - k))
+      in
+      let padded = Crs_fuzz.Oracle.zero_pad_instance base in
+      let r_base = Server.handle_line server (solve_line base) in
+      let r_perm = Server.handle_line server (solve_line permuted) in
+      let r_pad = Server.handle_line server (solve_line padded) in
+      Alcotest.(check string) "permuted response byte-identical" r_base r_perm;
+      Alcotest.(check string) "padded response byte-identical" r_base r_pad;
+      (* And again with the cache off: identical because the answer is
+         computed on the canonical form, not because it was memoized. *)
+      let nocache i = solve_line ~extra:[ ("cache", J.bool false) ] i in
+      let r1 = Server.handle_line server (nocache base) in
+      let r2 = Server.handle_line server (nocache permuted) in
+      Alcotest.(check string) "uncached responses byte-identical" r1 r2)
+
+let test_server_overload_sheds_batch_tail () =
+  with_server
+    { Server.workers = 1; queue = 2; cache_capacity = 0; default_fuel = None }
+    (fun server ->
+      let lines =
+        List.init 5 (fun i -> solve_line (random_instance (10 + i)))
+      in
+      let responses = Server.process_batch server lines in
+      Alcotest.(check int) "every request answered" 5 (List.length responses);
+      let statuses = List.map response_status responses in
+      let count s = List.length (List.filter (String.equal s) statuses) in
+      Alcotest.(check int) "queue-many solved" 2 (count "ok");
+      Alcotest.(check int) "rest shed as overloaded" 3 (count "overloaded");
+      (* Admission is per batch, not cumulative: the next batch solves. *)
+      let next = Server.process_batch server [ solve_line (random_instance 1) ] in
+      Alcotest.(check (list string)) "next batch admitted" [ "ok" ]
+        (List.map response_status next))
+
+(* Satellite: a tiny fuel budget on a brute-force solve must come back
+   as a structured timeout, with the span recording fuel_ticks at the
+   limit — never as an exception or a dropped response. *)
+let test_server_fuel_timeout () =
+  with_server small_config (fun server ->
+      let budget = 3 in
+      (* Figure 1's instance costs brute-force 13 ticks unpruned, so a
+         3-tick budget deterministically trips Out_of_fuel mid-search. *)
+      let line =
+        solve_line
+          ~extra:
+            [ ("algorithm", J.str R.Names.brute_force); ("fuel", J.int budget) ]
+          Crs_generators.Adversarial.figure1
+      in
+      Crs_obs.Trace.reset ();
+      Crs_obs.Trace.set_enabled true;
+      let response = Server.handle_line server line in
+      Crs_obs.Trace.set_enabled false;
+      Alcotest.(check string) "structured timeout" "timeout"
+        (response_status response);
+      (match J.parse response with
+      | Ok json ->
+        (match J.member "fuel_ticks" json with
+        | Some (J.Int ticks) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fuel_ticks %d at the limit (budget %d)" ticks
+               budget)
+            true
+            (ticks >= budget && ticks <= budget + 1)
+        | _ -> Alcotest.fail "timeout response lacks fuel_ticks");
+        (match J.member "fuel" json with
+        | Some (J.Int f) -> Alcotest.(check int) "echoes the budget" budget f
+        | _ -> Alcotest.fail "timeout response lacks fuel")
+      | Error msg -> Alcotest.failf "unparseable timeout response: %s" msg);
+      let signature = Crs_obs.Trace.signature () in
+      Alcotest.(check bool) "serve.request span recorded" true
+        (Helpers.contains ~needle:"serve.request" signature);
+      Alcotest.(check bool) "span carries fuel_ticks" true
+        (Helpers.contains ~needle:"fuel_ticks" signature);
+      Alcotest.(check bool) "span carries timeout status" true
+        (Helpers.contains ~needle:"timeout" signature))
+
+let test_server_cache_hits () =
+  with_server small_config (fun server ->
+      let i = random_instance 8 in
+      let r1 = Server.handle_line server (solve_line i) in
+      let r2 = Server.handle_line server (solve_line i) in
+      Alcotest.(check string) "hit answers identically" r1 r2;
+      let payload = J.obj (Server.stats_payload server) in
+      match J.parse payload with
+      | Ok json ->
+        let cache_field f =
+          match Option.bind (J.member "cache" json) (J.member f) with
+          | Some (J.Int v) -> v
+          | _ -> Alcotest.failf "stats lack cache.%s" f
+        in
+        Alcotest.(check int) "one miss" 1 (cache_field "misses");
+        Alcotest.(check int) "one hit" 1 (cache_field "hits")
+      | Error msg -> Alcotest.failf "stats payload unparseable: %s" msg)
+
+(* ---- daemon smoke test over a socketpair (CI satellite) ---- *)
+
+let test_daemon_socketpair_smoke () =
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server =
+    Server.create
+      { Server.workers = 2; queue = 8; cache_capacity = 16; default_fuel = None }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.serve_io server ~input:server_fd ~output:server_fd;
+        Server.drain server)
+  in
+  let client = Loadgen.Client.of_fd client_fd in
+  let rpc = Loadgen.Client.rpc client in
+  (* hello: the handshake names the protocol and the algorithms. *)
+  let hello = rpc (J.obj [ ("proto", J.str Protocol.version); ("kind", J.str "hello") ]) in
+  Alcotest.(check string) "hello ok" "ok" (response_status hello);
+  Alcotest.(check bool) "hello lists algorithms" true
+    (Helpers.contains ~needle:R.Names.optimal hello);
+  (* solve round-trip with a correlation id. *)
+  let solve =
+    rpc
+      (J.obj
+         [
+           ("proto", J.str Protocol.version);
+           ("id", J.int 99);
+           ("kind", J.str "solve");
+           ("instance", J.str "1/2 1/2\n1/2");
+           ("algorithm", J.str R.Names.optimal);
+         ])
+  in
+  Alcotest.(check string) "solve ok" "ok" (response_status solve);
+  Alcotest.(check bool) "id echoed" true
+    (Helpers.contains ~needle:{|"id":99|} solve);
+  Alcotest.(check bool) "makespan present" true
+    (Helpers.contains ~needle:{|"makespan":2|} solve);
+  (* campaign round-trip. *)
+  let campaign =
+    rpc
+      (J.obj
+         [
+           ("proto", J.str Protocol.version);
+           ("kind", J.str "campaign");
+           ("m", J.int 2);
+           ("n", J.int 2);
+           ("granularity", J.int 5);
+           ("seed_lo", J.int 1);
+           ("seed_hi", J.int 2);
+           ("algorithms", J.arr [ J.str R.Names.greedy_balance ]);
+           ("baseline", J.str "lower-bound");
+         ])
+  in
+  Alcotest.(check string) "campaign ok" "ok" (response_status campaign);
+  Alcotest.(check bool) "campaign reports items" true
+    (Helpers.contains ~needle:{|"items":2|} campaign);
+  (* malformed line: answered, not dropped, with a byte offset. *)
+  let malformed = rpc "{\"proto\":\"crs-serve/1\"," in
+  Alcotest.(check string) "malformed answered with error" "error"
+    (response_status malformed);
+  Alcotest.(check bool) "error carries offset" true
+    (Helpers.contains ~needle:"offset" malformed);
+  (* overload: a single write of many pipelined requests forms one
+     batch; the tail beyond the queue bound is shed. *)
+  let burst =
+    String.concat "\n"
+      (List.init 12 (fun i -> solve_line (random_instance (30 + i))))
+    ^ "\n"
+  in
+  Loadgen.Client.send_line client (String.sub burst 0 (String.length burst - 1));
+  let burst_statuses =
+    List.init 12 (fun _ ->
+        match Loadgen.Client.recv_line client with
+        | Some l -> response_status l
+        | None -> Alcotest.fail "daemon closed during burst")
+  in
+  Alcotest.(check int) "all burst requests answered" 12
+    (List.length burst_statuses);
+  Alcotest.(check bool) "no burst request errored" true
+    (List.for_all (fun s -> s = "ok" || s = "overloaded") burst_statuses);
+  (* graceful shutdown: answered, then the daemon drains and exits. *)
+  let bye = rpc (J.obj [ ("proto", J.str Protocol.version); ("kind", J.str "shutdown") ]) in
+  Alcotest.(check string) "shutdown ok" "ok" (response_status bye);
+  Domain.join daemon;
+  Unix.close client_fd;
+  Unix.close server_fd
+
+(* ---- address parsing ---- *)
+
+let test_parse_address () =
+  (match Server.parse_address "unix:/tmp/x.sock" with
+  | Ok (Server.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix address");
+  (match Server.parse_address "tcp:127.0.0.1:4321" with
+  | Ok (Server.Tcp ("127.0.0.1", 4321)) -> ()
+  | _ -> Alcotest.fail "tcp address");
+  let bad s =
+    match Server.parse_address s with
+    | Error msg -> Alcotest.(check bool) s true (Helpers.contains ~needle:s msg)
+    | Ok _ -> Alcotest.failf "accepted %s" s
+  in
+  bad "bogus";
+  bad "tcp:host:notaport";
+  bad "unix:"
+
+let suite =
+  [
+    Alcotest.test_case "canon: idempotent" `Quick test_canon_idempotent;
+    Alcotest.test_case "canon: key invariant under oracle mutations" `Quick
+      test_canon_key_invariance;
+    Alcotest.test_case "canon: distinct instances distinguished" `Quick
+      test_canon_distinguishes;
+    Alcotest.test_case "canon: padding-only instance kept" `Quick
+      test_canon_padding_only_instance;
+    Alcotest.test_case "cache: LRU eviction and counters" `Quick test_cache_lru;
+    Alcotest.test_case "cache: capacity 0 disables" `Quick test_cache_disabled;
+    Alcotest.test_case "protocol: solve defaults" `Quick
+      test_protocol_solve_defaults;
+    Alcotest.test_case "protocol: strict parse errors" `Quick
+      test_protocol_strictness;
+    Alcotest.test_case "protocol: campaign size cap" `Quick
+      test_protocol_campaign_cap;
+    Alcotest.test_case "server: canonically equal inputs, identical bytes"
+      `Quick test_server_byte_identical_responses;
+    Alcotest.test_case "server: overload sheds the batch tail" `Quick
+      test_server_overload_sheds_batch_tail;
+    Alcotest.test_case "server: fuel deadline is a structured timeout" `Quick
+      test_server_fuel_timeout;
+    Alcotest.test_case "server: memo cache hits on repeats" `Quick
+      test_server_cache_hits;
+    Alcotest.test_case "daemon: socketpair smoke test" `Quick
+      test_daemon_socketpair_smoke;
+    Alcotest.test_case "address: parse and reject" `Quick test_parse_address;
+  ]

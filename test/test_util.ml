@@ -117,6 +117,42 @@ let test_stable_json_parse_roundtrip () =
     Alcotest.(check bool) "bare comma rejected" true
       (Result.is_error (J.parse "[1,]"))
 
+(* Negative paths: a strict line-delimited protocol depends on every
+   malformed line failing loudly with a byte offset — most importantly
+   trailing garbage after a complete value, which would otherwise let
+   one line bleed into the next. *)
+let test_stable_json_parse_negative () =
+  let err src =
+    match J.parse src with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "accepted %S" src
+  in
+  let check_msg src expected =
+    let msg = err src in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S error %S mentions %S" src msg expected)
+      true
+      (Helpers.contains ~needle:expected msg)
+  in
+  (* Trailing garbage: exact offset and the offending character. *)
+  check_msg "{} x" "offset 3";
+  check_msg "{} x" "'x'";
+  check_msg "12ab" "offset 2";
+  check_msg "12ab" "'a'";
+  check_msg "truex" "offset 4";
+  check_msg "[1] [2]" "offset 4";
+  check_msg "\"done\"!" "offset 6";
+  check_msg "null\u{00}" "offset 4";
+  (* Other malformed inputs keep their offsets too. *)
+  check_msg "" "offset 0";
+  check_msg "{\"a\":}" "offset 5";
+  check_msg "[1 2]" "offset 3";
+  check_msg "\"\\q\"" "offset";
+  check_msg "nul" "offset 0";
+  (* Trailing whitespace is NOT garbage. *)
+  Alcotest.(check bool) "trailing whitespace accepted" true
+    (Result.is_ok (J.parse "{}  \n"))
+
 let suite =
   [
     Alcotest.test_case "pqueue: basics" `Quick test_pqueue_basic;
@@ -129,4 +165,6 @@ let suite =
     Alcotest.test_case "stable json: encoding" `Quick test_stable_json_encode;
     Alcotest.test_case "stable json: parse round-trip" `Quick
       test_stable_json_parse_roundtrip;
+    Alcotest.test_case "stable json: negative paths carry offsets" `Quick
+      test_stable_json_parse_negative;
   ]
