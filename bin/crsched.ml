@@ -296,7 +296,9 @@ let campaign_cmd =
   let domains =
     Arg.(value & opt int 1
          & info [ "domains" ] ~docv:"K"
-             ~doc:"Domain-pool size; 1 runs sequentially. Results are identical at any size.")
+             ~doc:"Work-stealing executor size; 1 runs sequentially, 0 uses \
+                   every recommended hardware core. Results are identical at \
+                   any size.")
   in
   let out =
     Arg.(value & opt string "data"
@@ -344,9 +346,12 @@ let campaign_cmd =
       Printf.eprintf "error: invalid campaign: %s\n" msg;
       exit 1);
     Printf.printf "campaign: %s\n" (Crs_campaign.Spec.describe spec);
+    let domains =
+      if domains = 0 then Domain.recommended_domain_count () else max 1 domains
+    in
     Printf.printf "items: %d on %d domain%s\n%!"
       (Array.length (Crs_campaign.Spec.expand spec))
-      (max 1 domains)
+      domains
       (if domains > 1 then "s" else "");
     if metrics then Crs_obs.Metrics.set_enabled true;
     let t0 = Unix.gettimeofday () in

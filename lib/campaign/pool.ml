@@ -1,123 +1,19 @@
-(* Fixed-size domain pool with a lock-protected task queue.
+(* Compatibility facade over the work-stealing executor (Crs_exec.Exec).
 
-   Modelled on the schedulr/micropools executors from the related EBSL
-   work, but dependency-free: Domain + Mutex + Condition from the OCaml 5
-   stdlib are all it needs. Workers block on [work_available] until a
-   task arrives or shutdown is requested; [await_all] blocks on
-   [all_done] until every submitted task has finished. *)
+   This module used to BE the parallel substrate: a single mutex +
+   condition variable around one task queue — exactly the central-list
+   bottleneck the executor refactor removed (BENCH_campaign.json showed
+   a parallel slowdown at 4 domains). The API is kept byte-for-byte so
+   existing consumers (fuzz driver, tests, external callers) keep
+   working; everything here is a one-line delegation, and new code
+   should use Crs_exec.Exec directly. *)
 
-type t = {
-  mutex : Mutex.t;
-  work_available : Condition.t;
-  all_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable pending : int;  (* submitted but not yet finished *)
-  mutable stopping : bool;
-  mutable failed : exn option;  (* first task exception, if any *)
-  mutable workers : unit Domain.t array;
-}
+type t = Crs_exec.Exec.t
 
-let size t = Array.length t.workers
-
-let worker pool =
-  let continue = ref true in
-  while !continue do
-    Mutex.lock pool.mutex;
-    while Queue.is_empty pool.queue && not pool.stopping do
-      Condition.wait pool.work_available pool.mutex
-    done;
-    if Queue.is_empty pool.queue then begin
-      (* stopping and drained: exit cleanly *)
-      Mutex.unlock pool.mutex;
-      continue := false
-    end
-    else begin
-      let task = Queue.pop pool.queue in
-      Mutex.unlock pool.mutex;
-      let err = (try task (); None with e -> Some e) in
-      Mutex.lock pool.mutex;
-      (match err with
-      | Some e when pool.failed = None -> pool.failed <- Some e
-      | _ -> ());
-      pool.pending <- pool.pending - 1;
-      if pool.pending = 0 then Condition.broadcast pool.all_done;
-      Mutex.unlock pool.mutex
-    end
-  done
-
-let create ~domains =
-  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
-  let pool =
-    {
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      all_done = Condition.create ();
-      queue = Queue.create ();
-      pending = 0;
-      stopping = false;
-      failed = None;
-      workers = [||];
-    }
-  in
-  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker pool));
-  pool
-
-let submit pool task =
-  Mutex.lock pool.mutex;
-  if pool.stopping then begin
-    Mutex.unlock pool.mutex;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.push task pool.queue;
-  pool.pending <- pool.pending + 1;
-  Condition.signal pool.work_available;
-  Mutex.unlock pool.mutex
-
-let await_all pool =
-  Mutex.lock pool.mutex;
-  while pool.pending > 0 do
-    Condition.wait pool.all_done pool.mutex
-  done;
-  let failure = pool.failed in
-  pool.failed <- None;
-  Mutex.unlock pool.mutex;
-  failure
-
-let shutdown pool =
-  Mutex.lock pool.mutex;
-  if not pool.stopping then begin
-    pool.stopping <- true;
-    Condition.broadcast pool.work_available;
-    Mutex.unlock pool.mutex;
-    Array.iter Domain.join pool.workers
-  end
-  else Mutex.unlock pool.mutex
-
-let with_pool ~domains f =
-  let pool = create ~domains in
-  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
-
-let map ?(chunk = 1) ~domains f input =
-  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
-  let n = Array.length input in
-  if n = 0 then [||]
-  else begin
-    let results = Array.make n None in
-    with_pool ~domains (fun pool ->
-        (* One task per contiguous slice: tasks write distinct indices so
-           no write ever races, and the queue mutex is taken once per
-           [chunk] items instead of once per item. Slices keep input
-           order, so the result is order-preserving regardless. *)
-        let i = ref 0 in
-        while !i < n do
-          let lo = !i in
-          let hi = Stdlib.min n (lo + chunk) - 1 in
-          submit pool (fun () ->
-              for k = lo to hi do
-                results.(k) <- Some (f input.(k))
-              done);
-          i := hi + 1
-        done;
-        match await_all pool with None -> () | Some e -> raise e);
-    Array.map (function Some r -> r | None -> assert false) results
-  end
+let create ~domains = Crs_exec.Exec.create ~domains
+let size = Crs_exec.Exec.size
+let submit = Crs_exec.Exec.submit
+let await_all = Crs_exec.Exec.await_all
+let shutdown = Crs_exec.Exec.shutdown
+let with_pool ~domains f = Crs_exec.Exec.with_exec ~domains f
+let map ?chunk ~domains f input = Crs_exec.Exec.map ?chunk ~domains f input

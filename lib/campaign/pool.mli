@@ -1,11 +1,16 @@
-(** Fixed-size OCaml 5 domain pool with a lock-protected task queue.
+(** Compatibility facade over the work-stealing executor
+    ({!Crs_exec.Exec}).
 
-    Dependency-free (Domain + Mutex + Condition). Tasks are [unit ->
-    unit] thunks; a task that raises does not kill its worker — the first
-    exception is recorded and reported by {!await_all}, and the remaining
-    tasks still run. *)
+    Historically this was a mutex/condition domain pool; it is now a
+    thin alias kept so older call sites and external users don't churn.
+    The contract is unchanged: tasks are [unit -> unit] thunks, a task
+    that raises does not kill its worker — the first exception is
+    recorded and reported by {!await_all}, and the remaining tasks
+    still run. New code should depend on [Crs_exec.Exec] directly
+    (richer API: saturation {!Crs_exec.Exec.stats}, [map_on] over a
+    shared executor). *)
 
-type t
+type t = Crs_exec.Exec.t
 
 val create : domains:int -> t
 (** Spawn [domains] worker domains (>= 1).
@@ -15,7 +20,8 @@ val size : t -> int
 (** Number of worker domains. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a task. Tasks may themselves submit further tasks.
+(** Enqueue a task. Tasks may themselves submit further tasks (those
+    pushes go to the submitting worker's own deque, lock-free).
     @raise Invalid_argument after {!shutdown}. *)
 
 val await_all : t -> exn option
@@ -24,17 +30,17 @@ val await_all : t -> exn option
     so the pool can be reused for another batch. *)
 
 val shutdown : t -> unit
-(** Drain the queue, join every worker. Idempotent. *)
+(** Drain all remaining work, join every worker. Idempotent. *)
 
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} — even on exceptions. *)
 
 val map : ?chunk:int -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map: [map ~domains f a] equals
-    [Array.map f a] element-for-element, whatever the pool size or
-    chunking. [chunk] (default 1) items are submitted per pool task, so
-    cheap items pay the queue-mutex round-trip once per slice instead of
-    once per item; slices are contiguous, keeping results in input
-    order. Re-raises the first task exception after all tasks settle
-    (items sharing a chunk with a raising item may be skipped).
+    [Array.map f a] element-for-element, whatever the pool size,
+    chunking or steal schedule. [chunk] (default 1) items are submitted
+    per task; slices are contiguous, and each task writes only its own
+    result slots, keeping results in input order. Re-raises the first
+    task exception after all tasks settle (items sharing a chunk with a
+    raising item may be skipped).
     @raise Invalid_argument when [chunk < 1]. *)

@@ -125,11 +125,14 @@ let run ?(domains = 1) spec =
     let items = Spec.expand spec in
     if domains <= 1 then Array.map (run_item spec) items
     else begin
-      (* Chunk so each domain sees a handful of slices (load balancing
-         across uneven item costs) rather than one mutex round-trip per
-         item. *)
+      (* Submit chunked slices directly to the work-stealing executor.
+         Chunks only bound the submission overhead; load balancing
+         across uneven item costs comes from stealing, so a domain that
+         drew the cheap seeds takes slices from the one that drew the
+         brute-force-heavy ones. Results stay in item order because
+         each slice writes only its own report slots. *)
       let chunk = Stdlib.max 1 (Array.length items / (domains * 8)) in
-      Pool.map ~chunk ~domains (run_item spec) items
+      Crs_exec.Exec.map ~chunk ~domains (run_item spec) items
     end
 
 let compare_records ?(names = default_names) ?(baseline = Spec.Exact) ?fuel

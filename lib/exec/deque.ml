@@ -1,0 +1,104 @@
+(* Chase–Lev deque on OCaml 5 atomics.
+
+   Indices [top] and [bottom] grow monotonically; the live window is
+   [top, bottom) and element i lives in slot [i land (length - 1)] of
+   the current buffer (length is a power of two). OCaml's atomics are
+   sequentially consistent, which is stronger than the acquire/release
+   fences of the original paper — the correctness argument only gets
+   easier. Slot reads are plain (racy) on purpose; see the .mli for why
+   a successful CAS on [top] validates them.
+
+   Stolen slots are not cleared (a thief may not write the owner's
+   buffer), so a stolen task's closure is retained until the ring slot
+   is recycled by a later push — bounded by one buffer generation,
+   acceptable for task granularities this executor runs. The owner
+   clears slots it pops. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  tab : 'a option array Atomic.t;
+}
+
+let min_capacity = 64
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    tab = Atomic.make (Array.make min_capacity None);
+  }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  if b > tp then b - tp else 0
+
+(* Owner-only: double the buffer, copying the live window. The old
+   array is left untouched so a concurrent thief still reads valid
+   values through its stale reference. *)
+let grow t a tp b =
+  let n = Array.length a in
+  let a' = Array.make (2 * n) None in
+  for i = tp to b - 1 do
+    a'.(i land ((2 * n) - 1)) <- a.(i land (n - 1))
+  done;
+  Atomic.set t.tab a';
+  a'
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let a = Atomic.get t.tab in
+  let a = if b - tp >= Array.length a then grow t a tp b else a in
+  a.(b land (Array.length a - 1)) <- Some v;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let a = Atomic.get t.tab in
+  Atomic.set t.bottom b;
+  (* SC fence between the bottom store and the top load: both are
+     atomics, so the classic store-load hazard of the algorithm is
+     already ordered. *)
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty; restore the invariant bottom >= top. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let i = b land (Array.length a - 1) in
+    let v = a.(i) in
+    if b > tp then begin
+      a.(i) <- None;
+      v
+    end
+    else begin
+      (* Last element: race the thieves for it via top. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        a.(i) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b - tp <= 0 then None
+  else begin
+    let a = Atomic.get t.tab in
+    let v = a.(tp land (Array.length a - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then begin
+      match v with
+      | Some _ -> v
+      | None ->
+        (* Unreachable: the slot can only be recycled after top moved
+           past tp, which would have failed the CAS. *)
+        assert false
+    end
+    else None
+  end

@@ -1,0 +1,42 @@
+(** Chase–Lev work-stealing deque.
+
+    One {i owner} domain pushes and pops at the bottom (LIFO, cheap —
+    two atomic loads and one store on the uncontended path); any other
+    domain steals from the top (FIFO), so the oldest work migrates and
+    the owner keeps cache-hot recent work. The only synchronization is
+    the [top]/[bottom] atomics — no locks anywhere.
+
+    The element buffer is circular and grows by doubling when full
+    (owner-only, old live range copied, the buffer reference itself is
+    atomic so in-flight thieves read a consistent snapshot — a thief
+    holding the pre-growth array sees the same values for every index
+    still in range, and its [top] CAS fails for any index the owner has
+    since recycled).
+
+    Safety argument for the racy slot read in {!steal}: a slot is only
+    overwritten once [top] has advanced past its index (growth keeps
+    live indices in distinct physical slots), and advancing [top] is
+    exactly what makes the thief's compare-and-set fail — so a
+    successful CAS proves the value read was the live one. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Amortized O(1); doubles the buffer when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Takes the most recently pushed element; races with
+    thieves on the last element via CAS on [top]. *)
+
+val steal : 'a t -> 'a option
+(** Any domain. Takes the oldest element, or [None] when the deque is
+    empty or another thief (or the owner, on the last element) won the
+    race. A [None] does {b not} mean the deque is durably empty —
+    callers retry or move to another victim. *)
+
+val size : 'a t -> int
+(** Approximate occupancy snapshot ([bottom - top] read non-atomically
+    as a pair); exact when no operation is in flight. For observability
+    only — never use it to decide emptiness before {!steal}. *)

@@ -1,0 +1,90 @@
+(** Work-stealing task executor on OCaml 5 domains.
+
+    Replaces the central mutex/condition pool: each worker owns a
+    Chase–Lev {!Deque} (lock-free push/pop/steal), external submissions
+    land in a small injector queue that workers drain in batches into
+    their own deque, and idle workers steal from randomized victims with
+    exponential backoff before parking on a condition variable. Locks
+    are confined to the cold paths — external submission, parking, and
+    batch completion — so the task hot path is atomics only.
+
+    {2 Determinism}
+
+    Task {i execution order} is scheduling-dependent, but the executor
+    is used through {!map}, where every task carries its input index
+    (its sequence id) and writes a dedicated slot of a pre-sized result
+    array. Result order therefore equals input order at any worker
+    count, which is what keeps campaign report payload digests and
+    [Trace.signature] byte-identical whatever the pool size.
+
+    {2 Exception containment}
+
+    A raising task never kills its worker: the first exception is
+    recorded (atomically — first writer wins) and returned by
+    {!await_all}; remaining tasks still run.
+
+    {2 Observability}
+
+    When {!Crs_obs.Metrics} is enabled the executor records
+    [exec.push] / [exec.steal] / [exec.park] counters and a per-worker
+    queue-depth log2 histogram ([exec.queue_depth.d<k>]); when disabled
+    these cost one atomic load each. Independent of metrics, cheap
+    always-on atomic counters feed {!stats} so a long-running daemon can
+    report saturation without enabling the metrics subsystem. *)
+
+type t
+
+(** Saturation snapshot, cheap enough to build per stats request. *)
+type stats = {
+  workers : int;  (** worker domain count *)
+  queued : int;  (** tasks submitted and not yet finished (incl. running) *)
+  injected : int;  (** external submissions not yet picked up by a worker *)
+  depths : int array;  (** per-worker deque occupancy snapshot *)
+  pushes : int;  (** tasks pushed (external + worker-local), lifetime *)
+  steals : int;  (** successful steals, lifetime *)
+  parks : int;  (** times a worker parked, lifetime *)
+}
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (>= 1).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. From outside the executor this goes through the
+    injector queue; from inside a task it pushes onto the running
+    worker's own deque (lock-free), so tasks may submit further tasks.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await_all : t -> exn option
+(** Block until every submitted task has finished. Returns the first
+    exception any task raised ([None] when all succeeded) and clears
+    it, so the executor can be reused for another batch. *)
+
+val pending : t -> int
+(** Tasks submitted and not yet finished — the backlog admission
+    control sheds against. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Let the workers drain all remaining work, then join them.
+    Idempotent. *)
+
+val with_exec : domains:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} — even on exceptions. *)
+
+val map_on : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map on an existing executor:
+    [map_on t f a] equals [Array.map f a] element-for-element whatever
+    the worker count, chunking or steal schedule — each task writes the
+    slots of its own contiguous input slice and nothing else. [chunk]
+    (default 1) input items ride per task. Re-raises the first task
+    exception after the batch settles (items sharing a chunk with a
+    raising item may be skipped).
+    @raise Invalid_argument when [chunk < 1]. *)
+
+val map : ?chunk:int -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** {!with_exec} + {!map_on}: one-shot order-preserving parallel map. *)

@@ -1,27 +1,35 @@
-module Pool = Crs_campaign.Pool
+module Exec = Crs_exec.Exec
 module Fuel = Crs_util.Fuel
 
-type t = { pool : Pool.t; queue : int }
+type t = { exec : Exec.t; queue : int }
 
 let create ~queue ~workers =
   if queue < 1 then invalid_arg "Admission.create: queue < 1";
-  { pool = Pool.create ~domains:workers; queue }
+  { exec = Exec.create ~domains:workers; queue }
 
-let workers t = Pool.size t.pool
+let workers t = Exec.size t.exec
 let queue_capacity t = t.queue
+let executor t = t.exec
+let depth t = Exec.pending t.exec
 
 let map t ~f ~shed items =
   let n = Array.length items in
   let out = Array.make n None in
-  let admitted = min n t.queue in
+  (* Admission is against the executor's live backlog, not just this
+     batch: work still in flight (queued or running) eats into the
+     budget, so a slow batch showing up while the executor is saturated
+     is shed instead of queueing unboundedly. With the single-accept
+     server the backlog is 0 at batch start and this reduces to the old
+     per-batch rule, keeping shed counts deterministic for tests. *)
+  let admitted = min n (max 0 (t.queue - Exec.pending t.exec)) in
   for i = 0 to admitted - 1 do
-    Pool.submit t.pool (fun () -> out.(i) <- Some (f items.(i)))
+    Exec.submit t.exec (fun () -> out.(i) <- Some (f items.(i)))
   done;
-  (* Shed inline while the pool chews on the admitted prefix. *)
+  (* Shed inline while the executor chews on the admitted prefix. *)
   for i = admitted to n - 1 do
     out.(i) <- Some (shed items.(i))
   done;
-  (match Pool.await_all t.pool with Some exn -> raise exn | None -> ());
+  (match Exec.await_all t.exec with Some exn -> raise exn | None -> ());
   Array.map
     (function Some r -> r | None -> assert false (* every slot filled *))
     out
@@ -32,4 +40,4 @@ let with_deadline budget f =
   | r -> r
   | exception Fuel.Out_of_fuel -> Error (Fuel.ticks () - before)
 
-let drain t = Pool.shutdown t.pool
+let drain t = Exec.shutdown t.exec

@@ -1,14 +1,17 @@
-(** Admission control: a bounded queue in front of a persistent worker
-    pool, plus fuel deadlines.
+(** Admission control: a bounded queue in front of the shared
+    work-stealing executor, plus fuel deadlines.
 
-    The daemon admits at most [queue] work requests per batch; requests
-    beyond that are {i shed} — answered immediately with a cheap
-    [overloaded] response instead of queueing unboundedly. Shedding is
-    deterministic at the batch level: the first [queue] work items of a
-    batch are admitted in arrival order, the rest shed, so tests can
-    assert exact shed counts.
+    The daemon admits at most [queue] work requests {i in flight};
+    requests beyond that are {i shed} — answered immediately with a
+    cheap [overloaded] response instead of queueing unboundedly. The
+    budget is charged against the executor's live backlog
+    ({!Crs_exec.Exec.pending}), so concurrent or carried-over work
+    counts; with batches processed one at a time the backlog is zero at
+    batch start and shedding is deterministic at the batch level — the
+    first [queue] work items of a batch are admitted in arrival order,
+    the rest shed, so tests can assert exact shed counts.
 
-    The pool ({!Crs_campaign.Pool}) is created once and reused across
+    The executor ({!Crs_exec.Exec}) is created once and reused across
     batches; {!drain} joins the workers on shutdown. *)
 
 type t
@@ -19,9 +22,17 @@ val create : queue:int -> workers:int -> t
 val workers : t -> int
 val queue_capacity : t -> int
 
+val executor : t -> Crs_exec.Exec.t
+(** The shared executor, exposed so the server's [stats] response can
+    report saturation (queue depths, steals, parks). *)
+
+val depth : t -> int
+(** Current executor backlog (submitted, not yet finished) — what the
+    next batch's admission budget is charged against. *)
+
 val map : t -> f:('a -> 'b) -> shed:('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving map over one batch: element [i < queue] is computed
-    as [f x] on the pool, element [i >= queue] as [shed x] inline.
+(** Order-preserving map over one batch: admitted elements are computed
+    as [f x] on the executor, the rest as [shed x] inline.
     Re-raises the first exception any [f] task raised, after the batch
     settles ([f] callers are expected to catch their own — the server's
     work function never raises). *)
@@ -33,4 +44,5 @@ val with_deadline : int option -> (unit -> 'a) -> ('a, int) result
     the overrunning tick itself is counted). [None] means no deadline. *)
 
 val drain : t -> unit
-(** Shut the pool down (idempotent). Subsequent {!map} calls raise. *)
+(** Shut the executor down (idempotent). Subsequent {!map} calls
+    raise. *)

@@ -105,6 +105,23 @@ let stats_payload t =
         ] );
     ("workers", J.int (Admission.workers t.admission));
     ("queue", J.int (Admission.queue_capacity t.admission));
+    (* Executor saturation (additive in crs-serve/1): live backlog,
+       per-worker deque depths, and lifetime push/steal/park counts —
+       what an operator watches to see whether load shedding is about
+       overload or a stuck worker. *)
+    ( "exec",
+      let s = Crs_exec.Exec.stats (Admission.executor t.admission) in
+      J.obj
+        [
+          ("workers", J.int s.Crs_exec.Exec.workers);
+          ("queued", J.int s.Crs_exec.Exec.queued);
+          ("injected", J.int s.Crs_exec.Exec.injected);
+          ( "depths",
+            J.arr (Array.to_list (Array.map J.int s.Crs_exec.Exec.depths)) );
+          ("pushes", J.int s.Crs_exec.Exec.pushes);
+          ("steals", J.int s.Crs_exec.Exec.steals);
+          ("parks", J.int s.Crs_exec.Exec.parks);
+        ] );
   ]
 
 (* ---- solve ---- *)

@@ -169,6 +169,53 @@ let test_determinism_across_domains () =
   Alcotest.(check string) "payload digests equal" (C.Report.payload_digest seq)
     (C.Report.payload_digest par)
 
+let test_determinism_under_stealing () =
+  (* The executor contract at every pool size the steal paths can
+     produce: 1 (no workers to steal from), 2/3 (stealing among
+     underloaded peers), 8 (heavily oversubscribed on most CI boxes, so
+     every interleaving of pop vs steal gets exercised). Both the
+     payload digest AND the trace signature must be byte-identical. *)
+  let sp = spec ~seed_hi:6 () in
+  let run_traced domains =
+    Crs_obs.Trace.reset ();
+    Crs_obs.Trace.set_enabled true;
+    let records = C.Runner.run ~domains sp in
+    let signature = Crs_obs.Trace.signature () in
+    Crs_obs.Trace.set_enabled false;
+    Crs_obs.Trace.reset ();
+    (C.Report.payload_digest records, signature)
+  in
+  let base_digest, base_sig = run_traced 1 in
+  List.iter
+    (fun domains ->
+      let digest, signature = run_traced domains in
+      Alcotest.(check string)
+        (Printf.sprintf "payload digest identical at %d domains" domains)
+        base_digest digest;
+      Alcotest.(check string)
+        (Printf.sprintf "trace signature identical at %d domains" domains)
+        base_sig signature)
+    [ 2; 3; 8 ]
+
+let test_runner_exception_containment () =
+  (* A poisoned item must not kill the campaign's worker domain: the
+     runner captures per-item exceptions into Error records, so the
+     parallel run completes and stays byte-identical to the sequential
+     one even with a raising algorithm in the sweep. *)
+  let sp = spec ~seed_hi:4 () in
+  let items = C.Spec.expand sp in
+  items.(3) <- { items.(3) with C.Spec.algorithm = "no-such-algorithm" };
+  let eval = Array.map (C.Runner.run_item sp) in
+  let seq = eval items in
+  let par = Crs_exec.Exec.map ~domains:3 (C.Runner.run_item sp) items in
+  Alcotest.(check string) "poisoned sweep still deterministic"
+    (C.Report.payload_digest seq) (C.Report.payload_digest par);
+  match par.(3).C.Report.outcome with
+  | C.Report.Error msg ->
+    Alcotest.(check bool) "error names the algorithm" true
+      (Helpers.contains ~needle:"no-such-algorithm" msg)
+  | _ -> Alcotest.fail "expected the poisoned item to record an error"
+
 let test_smoke_campaign_summary () =
   (* Small pooled sweep: everything completes, ratios are sane, and the
      summary's worst record is replayable from its seed. *)
@@ -247,6 +294,10 @@ let suite =
     Alcotest.test_case "runner: errors captured per item" `Quick test_error_captured;
     Alcotest.test_case "determinism: 1-domain == 2-domain payloads" `Quick
       test_determinism_across_domains;
+    Alcotest.test_case "determinism: digests + trace signatures at 1/2/3/8" `Quick
+      test_determinism_under_stealing;
+    Alcotest.test_case "runner: poisoned item contained under stealing" `Quick
+      test_runner_exception_containment;
     Alcotest.test_case "smoke campaign on the pool (tier-1)" `Quick
       test_smoke_campaign_summary;
     Alcotest.test_case "report: JSONL shape" `Quick test_jsonl_shape;

@@ -14,6 +14,7 @@ let () =
       ("binpack", Test_binpack.suite);
       ("discont", Test_discont.suite);
       ("generators", Test_generators.suite);
+      ("exec", Test_exec.suite);
       ("campaign", Test_campaign.suite);
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);

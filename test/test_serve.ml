@@ -271,6 +271,50 @@ let test_server_cache_hits () =
         Alcotest.(check int) "one hit" 1 (cache_field "hits")
       | Error msg -> Alcotest.failf "stats payload unparseable: %s" msg)
 
+(* Satellite: the crs-serve/1 stats response gained additive executor
+   fields (queue depths, steals, parks, workers) so operators can see
+   saturation. Everything that existed before must still be there. *)
+let test_server_stats_exec_fields () =
+  with_server
+    { Server.workers = 2; queue = 8; cache_capacity = 16; default_fuel = None }
+    (fun server ->
+      ignore (Server.handle_line server (solve_line (random_instance 3)));
+      ignore (Server.handle_line server (solve_line (random_instance 4)));
+      let payload = J.obj (Server.stats_payload server) in
+      match J.parse payload with
+      | Error msg -> Alcotest.failf "stats payload unparseable: %s" msg
+      | Ok json ->
+        let exec =
+          match J.member "exec" json with
+          | Some e -> e
+          | None -> Alcotest.fail "stats lack the exec object"
+        in
+        let field f =
+          match J.member f exec with
+          | Some (J.Int v) -> v
+          | _ -> Alcotest.failf "stats lack exec.%s" f
+        in
+        Alcotest.(check int) "exec.workers" 2 (field "workers");
+        Alcotest.(check int) "exec.queued drained between batches" 0
+          (field "queued");
+        Alcotest.(check int) "exec.injected drained" 0 (field "injected");
+        Alcotest.(check bool) "exec.pushes counts the solves" true
+          (field "pushes" >= 2);
+        Alcotest.(check bool) "exec.steals non-negative" true
+          (field "steals" >= 0);
+        Alcotest.(check bool) "exec.parks non-negative" true (field "parks" >= 0);
+        (match J.member "depths" exec with
+        | Some (J.List depths) ->
+          Alcotest.(check int) "one depth slot per worker" 2 (List.length depths)
+        | _ -> Alcotest.fail "stats lack exec.depths");
+        (* Additive only: the pre-executor fields are untouched. *)
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) (k ^ " still present") true
+              (J.member k json <> None))
+          [ "requests"; "ok"; "errors"; "timeouts"; "overloaded"; "cache";
+            "workers"; "queue" ])
+
 (* ---- daemon smoke test over a socketpair (CI satellite) ---- *)
 
 let test_daemon_socketpair_smoke () =
@@ -401,6 +445,8 @@ let suite =
       test_server_fuel_timeout;
     Alcotest.test_case "server: memo cache hits on repeats" `Quick
       test_server_cache_hits;
+    Alcotest.test_case "server: stats expose executor saturation" `Quick
+      test_server_stats_exec_fields;
     Alcotest.test_case "daemon: socketpair smoke test" `Quick
       test_daemon_socketpair_smoke;
     Alcotest.test_case "address: parse and reject" `Quick test_parse_address;

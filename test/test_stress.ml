@@ -69,6 +69,34 @@ let test_simulator_large () =
   let r = Crs_manycore.Engine.run Crs_manycore.Policy.greedy_balance tasks in
   Alcotest.(check bool) "64-core run completes" true (r.Crs_manycore.Engine.makespan > 0)
 
+let test_executor_seeded_stress () =
+  (* Hundreds of variable-cost tasks (cost spread over two orders of
+     magnitude, seeded) on an oversubscribed executor, repeated across
+     distinct steal schedules: results must equal the sequential map
+     element-for-element every time. This is the torture version of the
+     campaign determinism contract, aimed at the deque's pop-vs-steal
+     races rather than at solver behavior. *)
+  let st = Random.State.make [| 4099 |] in
+  let n = 600 in
+  let costs =
+    Array.init n (fun i -> (i, 50 + Random.State.int st 5000))
+  in
+  let work (i, c) =
+    let acc = ref i in
+    for k = 1 to c do
+      acc := (!acc * 1103515245) + k
+    done;
+    (i, !acc)
+  in
+  let expect = Array.map work costs in
+  for round = 1 to 3 do
+    let domains = [| 2; 4; 8 |].(round - 1) in
+    let got = Crs_exec.Exec.map ~domains work costs in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d (%d domains): order-preserving" round domains)
+      true (got = expect)
+  done
+
 let suite =
   [
     Alcotest.test_case "greedy-balance on 1440 jobs" `Slow test_greedy_on_large_family;
@@ -78,4 +106,6 @@ let suite =
     Alcotest.test_case "bignum at 2000 bits" `Slow test_bignum_large_ops;
     Alcotest.test_case "continuous greedy at scale" `Slow test_continuous_large;
     Alcotest.test_case "simulator at 64 cores" `Slow test_simulator_large;
+    Alcotest.test_case "executor seeded variable-cost stress" `Slow
+      test_executor_seeded_stress;
   ]
