@@ -11,12 +11,17 @@
    proportional slice into their own deque, where the other workers can
    steal it back lock-free.
 
-   Missed-wakeup safety: submitters bump [work_seq] (an atomic version
-   counter) after enqueueing and broadcast only when sleepers are
-   registered; a parking worker re-checks for work AND that [work_seq]
-   is unchanged while holding the park mutex, so a submission landing
-   between its last failed steal sweep and its wait either flips the
-   has-work check or the version check. *)
+   Missed-wakeup safety: a parking worker registers itself in
+   [sleepers] BEFORE re-checking for work, and a submitter makes its
+   task visible through an atomic store (deque [bottom] or
+   [inject_len]) BEFORE reading [sleepers]. OCaml atomics are
+   sequentially consistent, so in the total order either the
+   submitter's read sees the registration (>= 1) and it broadcasts
+   under the park mutex — serialized against the worker's
+   check-then-wait — or the read of 0 precedes the registration, which
+   forces the worker's subsequent has-work re-check to see the already
+   published task. Either way the worker cannot wait with a runnable
+   task queued. *)
 
 module Metrics = Crs_obs.Metrics
 
@@ -33,7 +38,6 @@ type t = {
   work_cond : Condition.t;  (* parked workers wait here *)
   done_cond : Condition.t;  (* await_all waits here *)
   sleepers : int Atomic.t;
-  work_seq : int Atomic.t;
   mutable workers : unit Domain.t array;
   (* Always-on saturation counters (cheap atomics, feed [stats]). *)
   s_pushes : int Atomic.t;
@@ -70,8 +74,10 @@ let has_work t =
   Atomic.get t.inject_len > 0
   || Array.exists (fun d -> Deque.size d > 0) t.deques
 
+(* Callers must have already published the new task through an atomic
+   store (Deque.push's [bottom] store or the [inject_len] set); the
+   [sleepers] read below is ordered after it, see the header comment. *)
 let wake_workers t =
-  Atomic.incr t.work_seq;
   if Atomic.get t.sleepers > 0 then begin
     Mutex.lock t.park_mutex;
     Condition.broadcast t.work_cond;
@@ -164,18 +170,19 @@ let try_steal t wid rng =
 
 let park t =
   Mutex.lock t.park_mutex;
-  let seen = Atomic.get t.work_seq in
-  if
-    (not (has_work t))
-    && (not (Atomic.get t.stopping))
-    && Atomic.get t.work_seq = seen
-  then begin
+  (* Register BEFORE the re-check: a submitter that reads sleepers = 0
+     (and so skips the broadcast) is ordered before this increment, so
+     its task is visible to the has_work check below. A submitter that
+     reads >= 1 broadcasts under the park mutex, which it can only
+     acquire before we re-check or after Condition.wait releases it —
+     never between. *)
+  Atomic.incr t.sleepers;
+  if (not (has_work t)) && not (Atomic.get t.stopping) then begin
     Atomic.incr t.s_parks;
     Metrics.incr t.m_park;
-    Atomic.incr t.sleepers;
-    Condition.wait t.work_cond t.park_mutex;
-    Atomic.decr t.sleepers
+    Condition.wait t.work_cond t.park_mutex
   end;
+  Atomic.decr t.sleepers;
   Mutex.unlock t.park_mutex
 
 let max_spin = 7 (* sweeps with 1, 2, 4, ... 64 cpu_relax pauses, then park *)
@@ -233,7 +240,6 @@ let create ~domains =
       work_cond = Condition.create ();
       done_cond = Condition.create ();
       sleepers = Atomic.make 0;
-      work_seq = Atomic.make 0;
       workers = [||];
       s_pushes = Atomic.make 0;
       s_steals = Atomic.make 0;
@@ -279,7 +285,39 @@ let shutdown t =
     Mutex.lock t.park_mutex;
     Condition.broadcast t.work_cond;
     Mutex.unlock t.park_mutex;
-    Array.iter Domain.join t.workers
+    Array.iter Domain.join t.workers;
+    (* A submit racing the stop can pass the [stopping] check yet land
+       its task after every worker observed an empty executor and
+       exited. Run such stragglers here — workers are joined, so this
+       thread is the sole accessor — keeping the contract that
+       [pending] reaches zero and a blocked [await_all] returns.
+       Tasks cannot spawn new tasks now: [submit] raises on a stopped
+       executor, and that exception is contained like any other. *)
+    let rec drain_inject () =
+      Mutex.lock t.inject_mutex;
+      let task =
+        if Queue.is_empty t.inject then None else Some (Queue.pop t.inject)
+      in
+      Atomic.set t.inject_len (Queue.length t.inject);
+      Mutex.unlock t.inject_mutex;
+      match task with
+      | Some task ->
+        run_task t task;
+        drain_inject ()
+      | None -> ()
+    in
+    drain_inject ();
+    Array.iter
+      (fun d ->
+        let rec drain () =
+          match Deque.pop d with
+          | Some task ->
+            run_task t task;
+            drain ()
+          | None -> ()
+        in
+        drain ())
+      t.deques
   end
 
 let with_exec ~domains f =

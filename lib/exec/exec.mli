@@ -56,12 +56,23 @@ val submit : t -> (unit -> unit) -> unit
 (** Enqueue a task. From outside the executor this goes through the
     injector queue; from inside a task it pushes onto the running
     worker's own deque (lock-free), so tasks may submit further tasks.
+    Submitting should not race {!shutdown}: a racing submit either
+    raises or has its task executed on the shutting-down thread during
+    the drain — it is never silently dropped.
     @raise Invalid_argument after {!shutdown}. *)
 
 val await_all : t -> exn option
 (** Block until every submitted task has finished. Returns the first
     exception any task raised ([None] when all succeeded) and clears
-    it, so the executor can be reused for another batch. *)
+    it, so the executor can be reused for another batch.
+
+    Batches must be {i sequential}: completion is tracked by one
+    executor-wide pending counter and one first-failure slot, so two
+    overlapping submit/await_all rounds on the same executor would wait
+    on each other's tasks and could misattribute each other's first
+    exception. Callers multiplexing an executor (e.g. a multi-accept
+    server) must serialize batches or layer their own per-batch
+    completion handle on {!submit}. *)
 
 val pending : t -> int
 (** Tasks submitted and not yet finished — the backlog admission
@@ -70,8 +81,10 @@ val pending : t -> int
 val stats : t -> stats
 
 val shutdown : t -> unit
-(** Let the workers drain all remaining work, then join them.
-    Idempotent. *)
+(** Let the workers drain all remaining work, then join them. Any task
+    a racing {!submit} managed to land after the workers exited is run
+    on the calling thread before returning, so [pending] always reaches
+    zero. Idempotent. *)
 
 val with_exec : domains:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} — even on exceptions. *)
