@@ -6,10 +6,13 @@
    DESIGN.md section 5 for the index and EXPERIMENTS.md for recorded
    results). Run `dune exec bench/main.exe` for all experiments, pass an
    experiment id (f1 f2 f3 f4 f5 t3 t5 t6 t7 l56 mc ext bp dc fa mr
-   ablation campaign registry num obs) to run one, or `micro` for the
-   Bechamel runtime micro-benchmarks. `num` also accepts `--check`
-   (fast differential sample only) and `--record-baseline` (write
-   data/num_baseline.json for the speedup gate). *)
+   ablation campaign registry num obs dp) to run one, `micro` for the
+   Bechamel runtime micro-benchmarks, or `smoke` for a tiny-n pass over
+   the gated experiments (num obs dp registry) that judges no timing
+   gates — this is what `dune build @bench-smoke` runs. `num` also
+   accepts `--check` (fast differential sample only) and
+   `--record-baseline` (write data/num_baseline.json for the speedup
+   gate). *)
 
 module Q = Crs_num.Rational
 open Crs_core
@@ -1014,7 +1017,7 @@ let exp_serve () =
 
 (* ---------- registry: dispatch overhead ---------- *)
 
-let exp_registry () =
+let exp_registry ?(mode = `Run) () =
   banner "registry" "solver-registry dispatch overhead"
     "capability-checked registry dispatch costs <= 5% over calling Opt_two directly";
   let solver = R.find_exn R.Names.opt_two in
@@ -1029,8 +1032,9 @@ let exp_registry () =
     done;
     !best
   in
-  let sizes = [ 50; 100; 200; 400 ] in
-  let reps = 7 in
+  let sizes, reps =
+    match mode with `Run -> ([ 50; 100; 200; 400 ], 7) | `Smoke -> ([ 20; 40 ], 2)
+  in
   let total_direct = ref 0.0 and total_via = ref 0.0 in
   let rows =
     List.map
@@ -1064,18 +1068,21 @@ let exp_registry () =
   let budget_pct = 5.0 in
   Printf.printf "aggregate dispatch overhead %+.2f%% (budget %.1f%%)\n" overhead_pct
     budget_pct;
-  let json =
-    Printf.sprintf
-      "{\"sizes\":[%s],\"reps\":%d,\"direct_s\":%.6f,\"registry_s\":%.6f,\
-       \"overhead_pct\":%.4f,\"budget_pct\":%.1f,\"within_budget\":%b}\n"
-      (String.concat "," (List.map string_of_int sizes))
-      reps !total_direct !total_via overhead_pct budget_pct
-      (overhead_pct <= budget_pct)
-  in
-  Out_channel.with_open_text "BENCH_registry.json" (fun oc ->
-      Out_channel.output_string oc json);
-  Printf.printf "wrote BENCH_registry.json\n";
-  assert (overhead_pct <= budget_pct)
+  match mode with
+  | `Smoke -> Printf.printf "smoke run: timings carry no signal, budget not judged\n"
+  | `Run ->
+    let json =
+      Printf.sprintf
+        "{\"sizes\":[%s],\"reps\":%d,\"direct_s\":%.6f,\"registry_s\":%.6f,\
+         \"overhead_pct\":%.4f,\"budget_pct\":%.1f,\"within_budget\":%b}\n"
+        (String.concat "," (List.map string_of_int sizes))
+        reps !total_direct !total_via overhead_pct budget_pct
+        (overhead_pct <= budget_pct)
+    in
+    Out_channel.with_open_text "BENCH_registry.json" (fun oc ->
+        Out_channel.output_string oc json);
+    Printf.printf "wrote BENCH_registry.json\n";
+    assert (overhead_pct <= budget_pct)
 
 (* ---------- fuzz: certifier throughput + gate ---------- *)
 
@@ -1304,7 +1311,7 @@ let exp_num ?(mode = `Run) () =
    percent between processes on shared hardware, far above the 2% bound
    being checked — hits both sides identically and cancels out of the
    ratio. Per-rep CPU time keeps scheduler noise out of the minima. *)
-let obs_measure () =
+let obs_measure ?(opt_two_n = 1200) ?(reps = 30) ?(warmups = 8) () =
   let cpu_s f =
     (* Start every timed call from the same GC state: otherwise the
        major slices owed by the PREVIOUS call land inside this one and
@@ -1314,7 +1321,6 @@ let obs_measure () =
     ignore (Sys.opaque_identity (f ()));
     Int64.to_float (Int64.sub (Crs_obs.Clock.cputime_ns ()) t0) /. 1e9
   in
-  let opt_two_n = 1200 in
   let fig3 = A.round_robin_family ~n:opt_two_n in
   let hooked () = Crs_algorithms.Opt_two.makespan fig3 in
   let unhooked () = Opt_two_unhooked.makespan fig3 in
@@ -1323,7 +1329,7 @@ let obs_measure () =
   (* Throwaway pass first: the first dozen solves in a process run
      10-15% slower while the heap sizes itself, so every retained rep
      sits in the stable late-process position. *)
-  for _ = 1 to 8 do
+  for _ = 1 to warmups do
     ignore (cpu_s hooked);
     ignore (cpu_s unhooked)
   done;
@@ -1333,7 +1339,6 @@ let obs_measure () =
      the MEDIAN ratio — a slow co-tenant phase or major-GC slice skews
      individual reps but moves paired ratios only when it lands between
      the two halves of a pair, and the median discards those reps. *)
-  let reps = 30 in
   let ratios = Array.make reps 0.0 in
   let baseline_s = ref infinity and disabled_s = ref infinity in
   Gc.compact ();
@@ -1395,7 +1400,7 @@ let obs_measure () =
     enabled_ratio,
     spans )
 
-let exp_obs () =
+let exp_obs ?(mode = `Run) () =
   banner "obs" "observability layer (span tracer + metrics registry)"
     "gate: <= 2% overhead on Opt_two/Figure-3 with tracing disabled, vs the \
      vendored pre-instrumentation copy of the DP (bench/opt_two_unhooked.ml)";
@@ -1406,7 +1411,16 @@ let exp_obs () =
         enabled_s,
         enabled_ratio,
         spans ) =
-    obs_measure ()
+    match mode with
+    (* n = 2400 keeps the timed region at the ~0.15s scale the 2%
+       budget was calibrated against: the flat-state kernel rewrite
+       made n = 1200 a ~40ms region, where run-to-run jitter alone is
+       a couple of percent. *)
+    | `Run -> obs_measure ~opt_two_n:2400 ()
+    | `Smoke ->
+      (* Smoke: the machinery end to end at a size where timings carry
+         no signal — no file written, no gate judged. *)
+      obs_measure ~opt_two_n:80 ~reps:4 ~warmups:1 ()
   in
   let overhead = disabled_ratio -. 1.0 in
   let enabled_overhead = enabled_ratio -. 1.0 in
@@ -1416,25 +1430,187 @@ let exp_obs () =
     "opt_two fig3 n=%d: unhooked %.3fs, disabled %.3fs, enabled %.3fs (%d \
      spans/solve)\n"
     opt_two_n baseline_s disabled_s enabled_s spans;
-  let json =
-    Printf.sprintf
-      "{\"opt_two_n\":%d,\"baseline_s\":%.6f,\"disabled_s\":%.6f,\
-       \"disabled_overhead\":%.4f,\"enabled_s\":%.6f,\
-       \"enabled_overhead\":%.4f,\"spans_per_solve\":%d,\"gate\":%.2f,\
-       \"gate_met\":%b}\n"
-      opt_two_n baseline_s disabled_s overhead enabled_s enabled_overhead spans
-      gate gate_met
+  match mode with
+  | `Smoke -> Printf.printf "smoke run: timings carry no signal, gate not judged\n"
+  | `Run ->
+    let json =
+      Printf.sprintf
+        "{\"opt_two_n\":%d,\"baseline_s\":%.6f,\"disabled_s\":%.6f,\
+         \"disabled_overhead\":%.4f,\"enabled_s\":%.6f,\
+         \"enabled_overhead\":%.4f,\"spans_per_solve\":%d,\"gate\":%.2f,\
+         \"gate_met\":%b}\n"
+        opt_two_n baseline_s disabled_s overhead enabled_s enabled_overhead spans
+        gate gate_met
+    in
+    Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
+        Out_channel.output_string oc json);
+    Printf.printf
+      "disabled overhead vs unhooked baseline: %+.2f%% (gate <= %.0f%%: %s); \
+       enabled: %+.2f%%\n"
+      (overhead *. 100.) (gate *. 100.)
+      (if gate_met then "met" else "NOT MET")
+      (enabled_overhead *. 100.);
+    Printf.printf "wrote BENCH_obs.json\n";
+    assert gate_met
+
+(* ---------- dp: flat-state DP kernels vs frozen boxed baselines ---------- *)
+
+let exp_dp ?(mode = `Run) () =
+  banner "dp" "flat-state DP kernels (Opt_two / Opt_config)"
+    "gate: >= 2x end-to-end on the Figure-3 family for BOTH kernels vs the \
+     frozen pre-rewrite boxed kernels vendored into this binary \
+     (bench/legacy); results byte-compared first, so the speedup is over \
+     identical answers";
+  let module L2 = Crs_legacy.Legacy_opt_two in
+  let module LC = Crs_legacy.Legacy_opt_config in
+  let two_n, cfg_n, cfg_iters, reps =
+    match mode with `Run -> (1200, 400, 20, 9) | `Smoke -> (60, 40, 2, 3)
   in
-  Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
-      Out_channel.output_string oc json);
+  let fig3_two = A.round_robin_family ~n:two_n in
+  let fig3_cfg = A.round_robin_family ~n:cfg_n in
+  (* Parity before speed: the ratio is only meaningful over identical
+     answers. Opt_two must agree byte-for-byte including counters;
+     Opt_config must agree on makespan, generated count and layer
+     profile (survivor order is canonical in the flat kernel where the
+     legacy one inherited hashtable iteration order, so the witness
+     schedule may differ — both must certify). *)
+  let s_new = Crs_algorithms.Opt_two.solve fig3_two in
+  let s_old = L2.solve fig3_two in
+  assert (s_new.Crs_algorithms.Opt_two.makespan = s_old.L2.makespan);
+  assert (Schedule.equal s_new.schedule s_old.schedule);
+  assert (
+    s_new.counters.Crs_algorithms.Opt_two.cells_expanded
+    = s_old.L2.counters.L2.cells_expanded);
+  assert (
+    s_new.counters.Crs_algorithms.Opt_two.relaxations
+    = s_old.L2.counters.L2.relaxations);
+  let c_new = Crs_algorithms.Opt_config.solve fig3_cfg in
+  let c_old = LC.solve fig3_cfg in
+  assert (c_new.Crs_algorithms.Opt_config.makespan = c_old.LC.makespan);
+  assert (
+    c_new.stats.Crs_algorithms.Opt_config.generated = c_old.LC.stats.LC.generated);
+  assert (c_new.stats.Crs_algorithms.Opt_config.layers = c_old.LC.stats.LC.layers);
+  (match
+     Crs_fuzz.Certify.check fig3_cfg c_new.schedule
+       ~claimed:c_new.Crs_algorithms.Opt_config.makespan
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  (match
+     Crs_fuzz.Certify.check fig3_cfg c_old.LC.schedule ~claimed:c_old.LC.makespan
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
   Printf.printf
-    "disabled overhead vs unhooked baseline: %+.2f%% (gate <= %.0f%%: %s); \
-     enabled: %+.2f%%\n"
-    (overhead *. 100.) (gate *. 100.)
-    (if gate_met then "met" else "NOT MET")
-    (enabled_overhead *. 100.);
-  Printf.printf "wrote BENCH_obs.json\n";
-  assert gate_met
+    "parity: opt_two schedules byte-identical, counters (%d cells, %d \
+     relaxations) equal; opt_config generated %d and %d layers equal, both \
+     witnesses certified\n"
+    s_new.counters.Crs_algorithms.Opt_two.cells_expanded
+    s_new.counters.Crs_algorithms.Opt_two.relaxations
+    c_new.stats.Crs_algorithms.Opt_config.generated
+    (List.length c_new.stats.Crs_algorithms.Opt_config.layers);
+  (* Paired-reps methodology (same as BENCH_campaign/BENCH_obs): every
+     timed region starts from a settled GC, each rep times flat and
+     legacy back-to-back with the order alternating, and the gate uses
+     the MEDIAN of the per-rep ratios — machine-speed drift hits both
+     halves of a pair, and reps where a slow phase lands between the
+     halves are discarded by the median. *)
+  let time f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    let n = Array.length s in
+    if n land 1 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+  in
+  let measure name flat legacy =
+    ignore (flat ());
+    ignore (legacy ());
+    let ratios = Array.make reps 0.0 in
+    let flat_best = ref infinity and legacy_best = ref infinity in
+    for i = 0 to reps - 1 do
+      let f_s, l_s =
+        if i land 1 = 0 then
+          let f = time flat in
+          (f, time legacy)
+        else
+          let l = time legacy in
+          (time flat, l)
+      in
+      if f_s < !flat_best then flat_best := f_s;
+      if l_s < !legacy_best then legacy_best := l_s;
+      ratios.(i) <- l_s /. Float.max f_s 1e-9
+    done;
+    let speedup = median ratios in
+    Printf.printf "%-36s flat %.3fs legacy %.3fs -> %.2fx (median of %d)\n" name
+      !flat_best !legacy_best speedup reps;
+    (!flat_best, !legacy_best, speedup)
+  in
+  let two_flat, two_legacy, two_speedup =
+    measure
+      (Printf.sprintf "opt_two fig3 n=%d (full solve)" two_n)
+      (fun () -> Crs_algorithms.Opt_two.solve fig3_two)
+      (fun () -> L2.solve fig3_two)
+  in
+  let cfg_flat, cfg_legacy, cfg_speedup =
+    measure
+      (Printf.sprintf "opt_config fig3 n=%d x%d (full solve)" cfg_n cfg_iters)
+      (fun () ->
+        for _ = 1 to cfg_iters - 1 do
+          ignore (Sys.opaque_identity (Crs_algorithms.Opt_config.solve fig3_cfg))
+        done;
+        Crs_algorithms.Opt_config.solve fig3_cfg)
+      (fun () ->
+        for _ = 1 to cfg_iters - 1 do
+          ignore (Sys.opaque_identity (LC.solve fig3_cfg))
+        done;
+        LC.solve fig3_cfg)
+  in
+  match mode with
+  | `Smoke -> Printf.printf "smoke run: timings carry no signal, gate not judged\n"
+  | `Run ->
+    let gate = 2.0 in
+    let gate_met = two_speedup >= gate && cfg_speedup >= gate in
+    let json =
+      Printf.sprintf
+        "{\"opt_two_n\":%d,\"opt_two_flat_s\":%.6f,\"opt_two_legacy_s\":%.6f,\
+         \"opt_two_speedup\":%.4f,\"opt_config_n\":%d,\"opt_config_iters\":%d,\
+         \"opt_config_flat_s\":%.6f,\"opt_config_legacy_s\":%.6f,\
+         \"opt_config_speedup\":%.4f,\"reps\":%d,\"cells_expanded\":%d,\
+         \"relaxations\":%d,\"generated\":%d,\"parity\":true,\"gate\":%.1f,\
+         \"gate_met\":%b}\n"
+        two_n two_flat two_legacy two_speedup cfg_n cfg_iters cfg_flat cfg_legacy
+        cfg_speedup reps s_new.counters.Crs_algorithms.Opt_two.cells_expanded
+        s_new.counters.Crs_algorithms.Opt_two.relaxations
+        c_new.stats.Crs_algorithms.Opt_config.generated gate gate_met
+    in
+    Out_channel.with_open_text "BENCH_dp.json" (fun oc ->
+        Out_channel.output_string oc json);
+    Printf.printf
+      "speedup vs frozen boxed kernels: opt_two %.2fx, opt_config %.2fx (gate \
+       >= %.1fx on BOTH: %s)\n"
+      two_speedup cfg_speedup gate
+      (if gate_met then "met" else "NOT MET");
+    Printf.printf "wrote BENCH_dp.json\n";
+    assert gate_met
+
+(* ---------- smoke: tiny-n pass over every gated experiment ---------- *)
+
+(* `dune build @bench-smoke` runs this: exercises the num / obs / dp /
+   registry experiment machinery end to end at sizes where each takes
+   well under a second, writes no files and judges no timing gates
+   (correctness asserts — differential checks, kernel parity — still
+   run). Catches bit-rot in the bench harness itself without paying for
+   a full calibrated run. *)
+let smoke () =
+  exp_num ~mode:`Check ();
+  exp_obs ~mode:`Smoke ();
+  exp_dp ~mode:`Smoke ();
+  exp_registry ~mode:`Smoke ()
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -1502,15 +1678,17 @@ let experiments =
     ("t3", exp_t3); ("t5", exp_t5); ("t6", exp_t6); ("t7", exp_t7);
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
-    ("campaign", exp_campaign); ("registry", exp_registry);
+    ("campaign", exp_campaign); ("registry", fun () -> exp_registry ());
     ("serve", exp_serve);
     ("fuzz", exp_fuzz); ("num", fun () -> exp_num ());
     ("obs", fun () -> exp_obs ());
+    ("dp", fun () -> exp_dp ());
   ]
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "micro" :: _ -> micro ()
+  | _ :: "smoke" :: _ -> smoke ()
   | _ :: "num" :: rest ->
     let mode =
       match rest with
@@ -1520,6 +1698,7 @@ let () =
     in
     exp_num ~mode ()
   | _ :: "obs" :: _ -> exp_obs ()
+  | _ :: "dp" :: _ -> exp_dp ()
   | _ :: id :: _ -> (
     match List.assoc_opt id experiments with
     | Some f -> f ()

@@ -5,22 +5,22 @@
    so machine-speed drift between processes cancels out of the ratio.
 
    Keep this file in sync with nothing: it is deliberately a snapshot of
-   lib/algorithms/opt_two.ml as of the commit that introduced the hooks.
-   If the DP itself changes later, re-snapshot it; the gate compares
-   like against like. *)
+   lib/algorithms/opt_two.ml (the flat-state kernel) with the
+   observability hooks (spans, histogram) removed; the work counters
+   and the fuel tick stay because they are kernel features that predate
+   the obs layer, not profiling hooks. If the DP itself changes later,
+   re-snapshot it; the gate compares like against like. *)
 
 module Q = Crs_num.Rational
+module SR = Crs_num.Smallrat
 open Crs_core
 
-type transition =
-  | Start
-  | Finish_both
-  | Finish_fst
-  | Finish_snd
-  | Only_fst
-  | Only_snd
-
-type entry = { t : int; r : Q.t; from : int * int; via : transition }
+let start = 0
+let finish_both = 1
+let finish_fst = 2
+let finish_snd = 3
+let only_fst = 4
+let only_snd = 5
 
 let check instance =
   if Instance.m instance <> 2 then
@@ -28,63 +28,201 @@ let check instance =
   if not (Instance.is_unit_size instance) then
     invalid_arg "Opt_two_unhooked: unit-size jobs only"
 
-let req instance i j =
-  if j < Instance.n_i instance i then Job.requirement (Instance.job instance i j)
-  else Q.zero
+type reqs = { boxed : Q.t array; reqp : int array; reqq : int array }
 
-let better (t1, r1) (t2, r2) = t1 < t2 || (t1 = t2 && Q.(r1 < r2))
+let prefetch instance i =
+  let n = Instance.n_i instance i in
+  let boxed =
+    Array.init (n + 1) (fun k ->
+        if k < n then Job.requirement (Instance.job instance i k) else Q.zero)
+  in
+  let reqp = Array.make (n + 1) 0 and reqq = Array.make (n + 1) 0 in
+  Array.iteri
+    (fun k r ->
+      if Q.is_small r then begin
+        reqp.(k) <- Q.small_num r;
+        reqq.(k) <- Q.small_den r
+      end)
+    boxed;
+  { boxed; reqp; reqq }
+
+let common_den r1 r2 =
+  let max_num = 1 lsl 59 in
+  let lden = ref 1 and ok = ref true in
+  let fold r =
+    Array.iter
+      (fun q ->
+        if q = 0 then ok := false
+        else begin
+          let l = !lden / Crs_num.Natural.gcd_int !lden q * q in
+          if l > Q.small_bound then ok := false else lden := l
+        end)
+      r.reqq
+  in
+  fold r1;
+  fold r2;
+  if not !ok then None
+  else begin
+    let l = !lden in
+    let scale r =
+      Array.map2
+        (fun p q ->
+          let f = l / q in
+          if p > max_num / f then ok := false;
+          p * f)
+        r.reqp r.reqq
+    in
+    let rn1 = scale r1 and rn2 = scale r2 in
+    if !ok then Some (l, rn1, rn2) else None
+  end
+
+type tableau = { w : int; cells : int array; spill : (int, Q.t) Hashtbl.t }
+
+let cell_r tab idx =
+  let base = idx lsl 2 in
+  let q = tab.cells.(base + 2) in
+  if q <> 0 then SR.to_rational tab.cells.(base + 1) q
+  else Hashtbl.find tab.spill idx
 
 let run_dp instance =
   check instance;
   let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
-  let table : entry option array array =
-    Array.make_matrix (n1 + 1) (n2 + 1) None
-  in
+  let w = n2 + 1 in
+  let size = (n1 + 1) * w in
+  let cells_a = Array.make (size * 4) (-1) in
+  let tab = { w; cells = cells_a; spill = Hashtbl.create 16 } in
+  let r1 = prefetch instance 0 and r2 = prefetch instance 1 in
   let cells = ref 0 and relaxes = ref 0 in
-  let relax i1 i2 t r from via =
+  let relax idx t p q rbig via =
     incr relaxes;
-    match table.(i1).(i2) with
-    | Some e when not (better (t, r) (e.t, e.r)) -> ()
-    | _ -> table.(i1).(i2) <- Some { t; r; from; via }
+    let base = idx lsl 2 in
+    let cur_tv = cells_a.(base) in
+    let cur_t = cur_tv asr 3 in
+    let better =
+      cur_tv < 0 || t < cur_t
+      || t = cur_t
+         &&
+         let cq = cells_a.(base + 2) in
+         if q <> 0 && cq <> 0 then SR.compare p q cells_a.(base + 1) cq < 0
+         else begin
+           let cand = if q <> 0 then SR.to_rational p q else rbig in
+           Q.(cand < cell_r tab idx)
+         end
+    in
+    if better then begin
+      cells_a.(base) <- (t lsl 3) lor via;
+      if q <> 0 then begin
+        if cells_a.(base + 2) = 0 then Hashtbl.remove tab.spill idx;
+        cells_a.(base + 1) <- p;
+        cells_a.(base + 2) <- q
+      end
+      else begin
+        cells_a.(base + 2) <- 0;
+        Hashtbl.replace tab.spill idx rbig
+      end
+    end
   in
-  relax 0 0 0 (Q.add (req instance 0 0) (req instance 1 0)) (-1, -1) Start;
+  let relax_box idx t r via =
+    if Q.is_small r then relax idx t (Q.small_num r) (Q.small_den r) Q.zero via
+    else relax idx t 0 0 r via
+  in
+  let acc = SR.out () and m1 = SR.out () in
+  let lden, rn1, rn2 =
+    match common_den r1 r2 with
+    | Some (l, a, b) -> (l, a, b)
+    | None -> (0, [||], [||])
+  in
+  (if lden <> 0 then relax 0 0 (rn1.(0) + rn2.(0)) lden Q.zero start
+   else if
+     r1.reqq.(0) <> 0 && r2.reqq.(0) <> 0
+     && SR.add acc r1.reqp.(0) r1.reqq.(0) r2.reqp.(0) r2.reqq.(0)
+   then relax 0 0 acc.p acc.q Q.zero start
+   else relax_box 0 0 (Q.add r1.boxed.(0) r2.boxed.(0)) start);
   for level = 0 to n1 + n2 - 1 do
     for i1 = max 0 (level - n2) to min level n1 do
-      Crs_util.Fuel.tick ();
       let i2 = level - i1 in
-      match table.(i1).(i2) with
-      | None -> ()
-      | Some e ->
+      let idx = (i1 * w) + i2 in
+      let base = idx lsl 2 in
+      let tv = cells_a.(base) in
+      if tv >= 0 then begin
+        Crs_util.Fuel.tick ();
         incr cells;
-        let t' = e.t + 1 in
-        let fresh1 = req instance 0 (i1 + 1)
-        and fresh2 = req instance 1 (i2 + 1) in
-        if i1 >= n1 && i2 < n2 then
-          relax i1 (i2 + 1) t' fresh2 (i1, i2) Only_snd
-        else if i2 >= n2 && i1 < n1 then
-          relax (i1 + 1) i2 t' fresh1 (i1, i2) Only_fst
+        let t' = (tv asr 3) + 1 in
+        let cp = cells_a.(base + 1) and cq = cells_a.(base + 2) in
+        if i1 >= n1 && i2 < n2 then begin
+          let k = i2 + 1 in
+          if lden <> 0 then relax (idx + 1) t' rn2.(k) lden Q.zero only_snd
+          else if r2.reqq.(k) <> 0 then
+            relax (idx + 1) t' r2.reqp.(k) r2.reqq.(k) Q.zero only_snd
+          else relax (idx + 1) t' 0 0 r2.boxed.(k) only_snd
+        end
+        else if i2 >= n2 && i1 < n1 then begin
+          let k = i1 + 1 in
+          if lden <> 0 then relax (idx + w) t' rn1.(k) lden Q.zero only_fst
+          else if r1.reqq.(k) <> 0 then
+            relax (idx + w) t' r1.reqp.(k) r1.reqq.(k) Q.zero only_fst
+          else relax (idx + w) t' 0 0 r1.boxed.(k) only_fst
+        end
         else if i1 < n1 && i2 < n2 then begin
-          if Q.(e.r <= one) then
-            relax (i1 + 1) (i2 + 1) t' (Q.add fresh1 fresh2) (i1, i2)
-              Finish_both
+          let k1 = i1 + 1 and k2 = i2 + 1 in
+          if lden <> 0 then begin
+            if cp <= lden then
+              relax (idx + w + 1) t' (rn1.(k1) + rn2.(k2)) lden Q.zero
+                finish_both
+            else begin
+              let m = cp - lden in
+              relax (idx + w) t' (rn1.(k1) + m) lden Q.zero finish_fst;
+              relax (idx + 1) t' (m + rn2.(k2)) lden Q.zero finish_snd
+            end
+          end
           else begin
-            relax (i1 + 1) i2 t'
-              (Q.add fresh1 (Q.sub e.r Q.one))
-              (i1, i2) Finish_fst;
-            relax i1 (i2 + 1) t'
-              (Q.add (Q.sub e.r Q.one) fresh2)
-              (i1, i2) Finish_snd
+            let r_le_one =
+              if cq <> 0 then SR.compare_one cp cq <= 0
+              else Q.(Hashtbl.find tab.spill idx <= one)
+            in
+            if r_le_one then begin
+              if r1.reqq.(k1) <> 0 && r2.reqq.(k2) <> 0
+                 && SR.add acc r1.reqp.(k1) r1.reqq.(k1) r2.reqp.(k2) r2.reqq.(k2)
+              then relax (idx + w + 1) t' acc.p acc.q Q.zero finish_both
+              else
+                relax_box (idx + w + 1) t'
+                  (Q.add r1.boxed.(k1) r2.boxed.(k2))
+                  finish_both
+            end
+            else begin
+              if cq <> 0 && SR.sub_one m1 cp cq then begin
+                (if r1.reqq.(k1) <> 0 && SR.add acc r1.reqp.(k1) r1.reqq.(k1) m1.p m1.q
+                 then relax (idx + w) t' acc.p acc.q Q.zero finish_fst
+                 else
+                   relax_box (idx + w) t'
+                     (Q.add r1.boxed.(k1) (SR.to_rational m1.p m1.q))
+                     finish_fst);
+                if r2.reqq.(k2) <> 0 && SR.add acc m1.p m1.q r2.reqp.(k2) r2.reqq.(k2)
+                then relax (idx + 1) t' acc.p acc.q Q.zero finish_snd
+                else
+                  relax_box (idx + 1) t'
+                    (Q.add (SR.to_rational m1.p m1.q) r2.boxed.(k2))
+                    finish_snd
+              end
+              else begin
+                let rm1 = Q.sub (cell_r tab idx) Q.one in
+                relax_box (idx + w) t' (Q.add r1.boxed.(k1) rm1) finish_fst;
+                relax_box (idx + 1) t' (Q.add rm1 r2.boxed.(k2)) finish_snd
+              end
+            end
           end
         end
+      end
     done
   done;
   ignore !cells;
   ignore !relaxes;
-  table
+  tab
 
 let makespan instance =
-  let table = run_dp instance in
+  let tab = run_dp instance in
   let n1 = Instance.n_i instance 0 and n2 = Instance.n_i instance 1 in
-  match table.(n1).(n2) with
-  | Some e -> e.t
-  | None -> failwith "Opt_two_unhooked.makespan: final state unreachable (bug)"
+  let tv = tab.cells.(((n1 * tab.w) + n2) lsl 2) in
+  if tv < 0 then
+    failwith "Opt_two_unhooked.makespan: final state unreachable (bug)";
+  tv asr 3

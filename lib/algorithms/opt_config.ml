@@ -1,99 +1,198 @@
+(* OptResAssignment2 (paper, Section 7) on a flat state encoding.
+
+   A configuration is encoded as one int-array key:
+
+     ints = [| j_0 .. j_{m-1};  p_0; q_0;  ..  p_{m-1}; q_{m-1} |]
+
+   jobs completed per processor followed by each active job's remaining
+   requirement. The remainder encoding depends on the per-solve mode:
+
+   - Common-denominator mode (the fast path, taken when every
+     requirement is small-tier and the lcm L of their denominators is
+     itself small): every remainder the search can form is an exact
+     multiple of 1/L, so keys store plain numerators over q_i = L and
+     the hot loop is pure int arithmetic — no gcds, no allocation.
+     Equal values have equal numerators, so int equality on keys is
+     still value equality and dedup/domination decisions are exactly
+     those of the canonical encoding.
+
+   - General mode: canonical small-tier parts (the [Rational] S
+     invariant); a remainder outside the small tier is flagged by
+     q_i = 0 and carried, in processor order, in a rare [bigs] side
+     array. Canonical parts are the value's unique spelling (int
+     equality is value equality), tiers are deterministic (the q = 0
+     sentinel cannot collide with a real small denominator), and big
+     remainders are compared with exact [Rational.equal] — the hash
+     only routes, equality always decides.
+
+   Nodes carry only their key and parent: boxed remainders and the
+   per-step share vectors are reconstructed from the keys when the
+   single optimal path is replayed, so inserting a successor allocates
+   one small key copy and a two-field node, nothing more. Successor
+   enumeration probes the dedup tables with a reusable scratch key and
+   materializes only on a miss, so duplicate-heavy layers allocate
+   almost nothing.
+
+   The Lemma-4 domination filter is a sort-based Pareto frontier sweep
+   instead of the old O(W²) pairwise scan: candidates sort
+   lexicographically by per-processor desirability (more jobs done
+   first, then smaller remainder), which makes domination impossible
+   backwards — coordinate-wise-at-least implies
+   lexicographically-at-least — so a single forward pass comparing
+   each candidate against the frontier built so far finds exactly the
+   set of maximal (undominated) configurations the pairwise scan kept.
+   Survivor sets, layer sizes and the [generated] counter are
+   identical to the boxed kernel; survivor *order* becomes canonical
+   (sorted) instead of hash-bucket order, so which of several equally
+   good parents a duplicate keeps is now deterministic across
+   hashtable implementations (witness schedules remain optimal and
+   certified, and are byte-stable run to run). *)
+
 module Q = Crs_num.Rational
+module SR = Crs_num.Smallrat
 open Crs_core
 
 type stats = { layers : int list; generated : int }
 type solution = { makespan : int; schedule : Schedule.t; stats : stats }
 
-type config = { j : int array; v : Q.t array }
-(* j.(i) = jobs completed on processor i; v.(i) = remaining requirement of
-   the active job (0 when the processor is done). *)
+module Key = struct
+  type t = { ints : int array; bigs : Q.t array }
 
-type node = { config : config; parent : node option; shares : Q.t array }
+  (* Keys within one solve always have equal lengths; compare contents
+     directly, ints first (they discriminate almost always). *)
+  let equal a b =
+    let n = Array.length a.ints in
+    n = Array.length b.ints
+    && (let rec go i = i >= n || (a.ints.(i) = b.ints.(i) && go (i + 1)) in
+        go 0)
+    && Array.length a.bigs = Array.length b.bigs
+    && (let nb = Array.length a.bigs in
+        let rec go i = i >= nb || (Q.equal a.bigs.(i) b.bigs.(i)) && go (i + 1) in
+        go 0)
 
-let req instance i k =
-  if k < Instance.n_i instance i then Job.requirement (Instance.job instance i k)
-  else Q.zero
+  let hash { ints; bigs } =
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun v -> h := (!h lxor v) * 0x01000193 land max_int) ints;
+    Array.iter (fun q -> h := (!h lxor Q.hash q) * 0x01000193 land max_int) bigs;
+    !h
+end
 
-let initial instance =
-  let m = Instance.m instance in
-  { j = Array.make m 0; v = Array.init m (fun i -> req instance i 0) }
+module H = Hashtbl.Make (Key)
 
-let is_final instance c =
-  let m = Instance.m instance in
-  let rec go i = i >= m || (c.j.(i) >= Instance.n_i instance i && go (i + 1)) in
-  go 0
-
-(* Domination (Lemma 4 spirit): within one time layer, [a] dominates [b]
-   iff per processor a is strictly ahead in completed jobs or on the same
-   job with no more remaining work. *)
-let dominates a b =
-  let m = Array.length a.j in
-  let rec go i =
-    i >= m
-    || ((a.j.(i) > b.j.(i) || (a.j.(i) = b.j.(i) && Q.(a.v.(i) <= b.v.(i)))) && go (i + 1))
-  in
-  go 0
-
-let successors instance c =
-  let m = Instance.m instance in
-  let actives = List.filter (fun i -> c.j.(i) < Instance.n_i instance i) (Crs_util.Misc.range m) in
-  let result = ref [] in
-  let emit finished partial =
-    (* [finished] : processor list whose active jobs complete this step;
-       [partial] : optional (processor, invested amount). *)
-    let j = Array.copy c.j and v = Array.copy c.v in
-    let shares = Array.make m Q.zero in
-    List.iter
-      (fun i ->
-        shares.(i) <- c.v.(i);
-        j.(i) <- c.j.(i) + 1;
-        v.(i) <- req instance i j.(i))
-      finished;
-    (match partial with
-    | None -> ()
-    | Some (p, delta) ->
-      shares.(p) <- delta;
-      v.(p) <- Q.sub c.v.(p) delta);
-    result := ({ j; v }, shares) :: !result
-  in
-  (* Enumerate non-empty subsets of active processors as finish sets. *)
-  let actives_arr = Array.of_list actives in
-  let k = Array.length actives_arr in
-  for mask = 1 to (1 lsl k) - 1 do
-    let finished = ref [] in
-    let cost = ref Q.zero in
-    for b = 0 to k - 1 do
-      if mask land (1 lsl b) <> 0 then begin
-        finished := actives_arr.(b) :: !finished;
-        cost := Q.add !cost c.v.(actives_arr.(b))
-      end
-    done;
-    if Q.(!cost <= one) then begin
-      let leftover = Q.sub Q.one !cost in
-      let others = List.filter (fun i -> not (List.mem i !finished)) actives in
-      if others = [] || Q.is_zero leftover then emit !finished None
-      else begin
-        (* Non-wasting: the leftover must go to some still-active job it
-           cannot finish; if it could finish one, the larger finish set
-           covers that choice. *)
-        List.iter
-          (fun p -> if Q.(c.v.(p) > leftover) then emit !finished (Some (p, leftover)))
-          others
-      end
-    end
-  done;
-  !result
+type node = { key : Key.t; parent : node option }
 
 let solve ?(prune = true) instance =
   if not (Instance.is_unit_size instance) then
     invalid_arg "Opt_config: unit-size jobs only";
-  let start = { config = initial instance; parent = None; shares = [||] } in
-  if is_final instance start.config then
-    { makespan = 0; schedule = Schedule.empty ~m:(Instance.m instance);
+  let m = Instance.m instance in
+  let n_i = Array.init m (Instance.n_i instance) in
+  (* Requirements prefetched once: boxed rows plus small-tier parts
+     (index n_i(i) holds the zero of the dummy job; reqq = 0 flags a
+     bigint-tier requirement). *)
+  let req_boxed =
+    Array.init m (fun i ->
+        Array.init
+          (n_i.(i) + 1)
+          (fun k ->
+            if k < n_i.(i) then Job.requirement (Instance.job instance i k)
+            else Q.zero))
+  in
+  let reqp = Array.map (fun row -> Array.make (Array.length row) 0) req_boxed in
+  let reqq = Array.map (fun row -> Array.make (Array.length row) 0) req_boxed in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun k r ->
+          if Q.is_small r then begin
+            reqp.(i).(k) <- Q.small_num r;
+            reqq.(i).(k) <- Q.small_den r
+          end)
+        row)
+    req_boxed;
+  (* Common-denominator mode (see header): lden = 0 disables it,
+     otherwise reqn holds requirement numerators scaled to lden. The
+     numerator cap keeps a sum over all m processors away from
+     overflow (costs add at most m remainders). *)
+  let lden, reqn =
+    let max_num = (1 lsl 59) / max 1 m in
+    let l = ref 1 and ok = ref true in
+    Array.iter
+      (Array.iter (fun q ->
+           if q = 0 then ok := false
+           else begin
+             let l' = !l / Crs_num.Natural.gcd_int !l q * q in
+             if l' > Q.small_bound then ok := false else l := l'
+           end))
+      reqq;
+    if not !ok then (0, [||])
+    else begin
+      let scaled =
+        Array.mapi
+          (fun i row ->
+            Array.mapi
+              (fun k p ->
+                let f = !l / reqq.(i).(k) in
+                if p > max_num / f then ok := false;
+                p * f)
+              row)
+          reqp
+      in
+      if !ok then (!l, scaled) else (0, [||])
+    end
+  in
+  let klen = 3 * m in
+  let jdx i = i
+  and pdx i = m + (2 * i)
+  and qdx i = m + (2 * i) + 1 in
+  (* Boxed remainder of processor [i] in [key], canonicalized from the
+     stored parts (or fetched from the side array: bigs are kept in
+     ascending processor order). Only replay, big-tier compares and
+     boxed fallbacks pay this. *)
+  let rem_of (key : Key.t) i =
+    let q = key.Key.ints.(qdx i) in
+    if q <> 0 then SR.to_rational key.Key.ints.(pdx i) q
+    else begin
+      let bi = ref 0 in
+      for j = 0 to i - 1 do
+        if key.Key.ints.(qdx j) = 0 then incr bi
+      done;
+      key.Key.bigs.(!bi)
+    end
+  in
+  let start =
+    let ints = Array.make klen 0 in
+    let bigs = ref [] in
+    for i = m - 1 downto 0 do
+      if lden <> 0 then begin
+        ints.(pdx i) <- reqn.(i).(0);
+        ints.(qdx i) <- lden
+      end
+      else begin
+        let q = reqq.(i).(0) in
+        ints.(pdx i) <- reqp.(i).(0);
+        ints.(qdx i) <- q;
+        if q = 0 then bigs := req_boxed.(i).(0) :: !bigs
+      end
+    done;
+    {
+      key =
+        {
+          Key.ints;
+          bigs = (if !bigs = [] then [||] else Array.of_list !bigs);
+        };
+      parent = None;
+    }
+  in
+  let is_final node =
+    let rec go i = i >= m || (node.key.Key.ints.(jdx i) >= n_i.(i) && go (i + 1)) in
+    go 0
+  in
+  if is_final start then
+    { makespan = 0; schedule = Schedule.empty ~m;
       stats = { layers = []; generated = 0 } }
   else begin
-    let seen : (config, unit) Hashtbl.t = Hashtbl.create 1024 in
-    Hashtbl.replace seen start.config ();
+    let seen : unit H.t = H.create 1024 in
+    H.replace seen start.key ();
     let generated = ref 0 in
     let layer_sizes = ref [] in
     let max_layers = Instance.total_jobs instance + 1 in
@@ -102,40 +201,303 @@ let solve ?(prune = true) instance =
         Some (Crs_obs.Metrics.histogram "opt_config.layer_size")
       else None
     in
-    (* One span per time layer. The recursive call happens outside the
-       span so layers appear as siblings under the solve root, not as an
-       ever-deepening chain. *)
+    (* Remainder order for processor [i], preferring the unboxed parts
+       (equal denominators — always the case in common-denominator
+       mode — compare by numerator, forming no products). *)
+    let rem_cmp a b i =
+      let qa = a.key.Key.ints.(qdx i) and qb = b.key.Key.ints.(qdx i) in
+      if qa <> 0 && qb <> 0 then
+        SR.compare a.key.Key.ints.(pdx i) qa b.key.Key.ints.(pdx i) qb
+      else Q.compare (rem_of a.key i) (rem_of b.key i)
+    in
+    (* Per-processor desirability order: more jobs done, then smaller
+       remainder. Sorting by it lexicographically puts every possible
+       dominator of a candidate before the candidate. *)
+    let node_cmp a b =
+      let rec go i =
+        if i >= m then 0
+        else begin
+          let ja = a.key.Key.ints.(jdx i) and jb = b.key.Key.ints.(jdx i) in
+          if ja <> jb then Stdlib.compare (jb : int) ja
+          else
+            let c = rem_cmp a b i in
+            if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    in
+    (* Domination (Lemma 4): per processor, strictly more jobs done or
+       the same job with no more remaining work. *)
+    let dominates a b =
+      let rec go i =
+        i >= m
+        || (let ja = a.key.Key.ints.(jdx i) and jb = b.key.Key.ints.(jdx i) in
+            (ja > jb || (ja = jb && rem_cmp a b i <= 0))
+            && go (i + 1))
+      in
+      go 0
+    in
+    let pareto_sweep candidates =
+      let arr = Array.of_list candidates in
+      Array.sort node_cmp arr;
+      (* Candidates are deduped, so distinct entries are never equal and
+         mutual domination is impossible; anything that dominates
+         arr.(i) sorts before it, so frontier-only checks suffice, and
+         the frontier is exactly the maximal set the pairwise filter
+         kept. *)
+      let rev_frontier = ref [] in
+      Array.iter
+        (fun cand ->
+          if not (List.exists (fun s -> dominates s cand) !rev_frontier) then
+            rev_frontier := cand :: !rev_frontier)
+        arr;
+      List.rev !rev_frontier
+    in
+    (* Scratch state for streaming successor enumeration: keys are
+       assembled in place and only copied when a probe misses. *)
+    let sk_ints = Array.make klen 0 in
+    let sk = { Key.ints = sk_ints; bigs = [||] } in
+    let actives = Array.make m 0 in
+    let in_finished = Array.make m false in
+    let cost = SR.out () and lo = SR.out () and vo = SR.out () in
+    let lo_box = ref Q.zero and lo_have = ref false in
+    (* One dedup table for the whole solve, cleared (capacity kept)
+       between layers: fig3-like instances have hundreds of tiny
+       layers, where a fresh bucket array per layer dominates. *)
+    let next : node H.t = H.create 64 in
     let expand_layer layer =
-      (* Expand every node; merge duplicates keeping an arbitrary parent
-         (all parents at the same t are equally good). *)
-      let next : (config, node) Hashtbl.t = Hashtbl.create 256 in
+      H.clear next;
+      let rev_order = ref [] in
       let gen0 = !generated in
-      List.iter
-        (fun node ->
-          List.iter
-            (fun (cfg, shares) ->
-              Crs_util.Fuel.tick ();
-              incr generated;
-              if not (Hashtbl.mem seen cfg) && not (Hashtbl.mem next cfg) then
-                Hashtbl.replace next cfg { config = cfg; parent = Some node; shares })
-            (successors instance node.config))
-        layer;
-      let candidates = Hashtbl.fold (fun _ n acc -> n :: acc) next [] in
+      (* Probe the scratch key ([bigs] lists any big-tier entries, in
+         ascending processor order); on a miss, materialize and queue
+         the successor. *)
+      let commit nd bigs =
+        let probe =
+          if bigs = [] then sk
+          else { Key.ints = sk_ints; bigs = Array.of_list bigs }
+        in
+        if not (H.mem seen probe) && not (H.mem next probe) then begin
+          let key = { Key.ints = Array.copy sk_ints; bigs = probe.Key.bigs } in
+          let node = { key; parent = Some nd } in
+          H.add next key node;
+          rev_order := node :: !rev_order
+        end
+      in
+      let expand nd =
+        let c_ints = nd.key.Key.ints in
+        let k = ref 0 in
+        for i = 0 to m - 1 do
+          if c_ints.(jdx i) < n_i.(i) then begin
+            actives.(!k) <- i;
+            incr k
+          end
+        done;
+        let k = !k in
+        for mask = 1 to (1 lsl k) - 1 do
+          if lden <> 0 then begin
+            (* Common-denominator fast path: every remainder is a
+               numerator over lden; the prefetch guard bounds sums, so
+               nothing below can overflow. Stores are raw (num, lden)
+               pairs — never reduced — keeping the encoding uniform
+               for dedup. *)
+            let cost_n = ref 0 in
+            for b = 0 to k - 1 do
+              if mask land (1 lsl b) <> 0 then begin
+                let i = actives.(b) in
+                in_finished.(i) <- true;
+                cost_n := !cost_n + c_ints.(pdx i)
+              end
+            done;
+            if !cost_n <= lden then begin
+              let lo_n = lden - !cost_n in
+              let emit partial pnum =
+                Crs_util.Fuel.tick ();
+                incr generated;
+                for i = m - 1 downto 0 do
+                  if in_finished.(i) then begin
+                    let j' = c_ints.(jdx i) + 1 in
+                    sk_ints.(jdx i) <- j';
+                    sk_ints.(pdx i) <- reqn.(i).(j');
+                    sk_ints.(qdx i) <- lden
+                  end
+                  else begin
+                    sk_ints.(jdx i) <- c_ints.(jdx i);
+                    sk_ints.(pdx i) <-
+                      (if i = partial then pnum else c_ints.(pdx i));
+                    sk_ints.(qdx i) <- c_ints.(qdx i)
+                  end
+                done;
+                commit nd []
+              in
+              let has_other = ref false in
+              for b = 0 to k - 1 do
+                if not in_finished.(actives.(b)) then has_other := true
+              done;
+              if (not !has_other) || lo_n = 0 then emit (-1) 0
+              else
+                for b = 0 to k - 1 do
+                  let p = actives.(b) in
+                  if (not in_finished.(p)) && c_ints.(pdx p) > lo_n then
+                    emit p (c_ints.(pdx p) - lo_n)
+                done
+            end;
+            for b = 0 to k - 1 do
+              if mask land (1 lsl b) <> 0 then in_finished.(actives.(b)) <- false
+            done
+          end
+          else begin
+            (* General path: canonical small-tier pairs with boxed
+               fallbacks. Mark the finish set and accumulate its cost,
+               staying on int pairs until a value leaves the small
+               tier. *)
+            cost.p <- 0;
+            cost.q <- 1;
+            let cost_big = ref None in
+            for b = 0 to k - 1 do
+              if mask land (1 lsl b) <> 0 then begin
+                let i = actives.(b) in
+                in_finished.(i) <- true;
+                match !cost_big with
+                | Some cb -> cost_big := Some (Q.add cb (rem_of nd.key i))
+                | None ->
+                  let p = c_ints.(pdx i) and q = c_ints.(qdx i) in
+                  if not (q <> 0 && SR.add cost cost.p cost.q p q) then
+                    cost_big :=
+                      Some (Q.add (SR.to_rational cost.p cost.q) (rem_of nd.key i))
+              end
+            done;
+            let cost_le_one =
+              match !cost_big with
+              | None -> cost.p <= cost.q
+              | Some cb -> Q.(cb <= one)
+            in
+            if cost_le_one then begin
+              (* leftover = 1 - cost; its parts inherit the cost's gcd. *)
+              let lo_big =
+                match !cost_big with
+                | None ->
+                  ignore (SR.one_minus lo cost.p cost.q);
+                  None
+                | Some cb -> Some (Q.sub Q.one cb)
+              in
+              (* Boxed leftover, built at most once per mask (only for
+                 boxed fallbacks along partial successors). *)
+              lo_have := false;
+              let leftover_boxed () =
+                if not !lo_have then begin
+                  (lo_box :=
+                     match lo_big with
+                     | Some l -> l
+                     | None -> SR.to_rational lo.p lo.q);
+                  lo_have := true
+                end;
+                !lo_box
+              in
+              let leftover_zero =
+                match lo_big with None -> lo.p = 0 | Some l -> Q.is_zero l
+              in
+              (* Emit one successor: [partial] < 0 finishes the set and
+                 wastes any leftover; otherwise processor [partial]
+                 receives the leftover. *)
+              let emit partial =
+                Crs_util.Fuel.tick ();
+                incr generated;
+                let bigs = ref [] in
+                for i = m - 1 downto 0 do
+                  if in_finished.(i) then begin
+                    let j' = c_ints.(jdx i) + 1 in
+                    sk_ints.(jdx i) <- j';
+                    let q = reqq.(i).(j') in
+                    sk_ints.(pdx i) <- reqp.(i).(j');
+                    sk_ints.(qdx i) <- q;
+                    if q = 0 then bigs := req_boxed.(i).(j') :: !bigs
+                  end
+                  else if i = partial then begin
+                    sk_ints.(jdx i) <- c_ints.(jdx i);
+                    let p = c_ints.(pdx i) and q = c_ints.(qdx i) in
+                    if
+                      q <> 0
+                      && (match lo_big with
+                         | None -> SR.sub vo p q lo.p lo.q
+                         | Some _ -> false)
+                    then begin
+                      sk_ints.(pdx i) <- vo.p;
+                      sk_ints.(qdx i) <- vo.q
+                    end
+                    else begin
+                      let v' = Q.sub (rem_of nd.key i) (leftover_boxed ()) in
+                      if Q.is_small v' then begin
+                        sk_ints.(pdx i) <- Q.small_num v';
+                        sk_ints.(qdx i) <- Q.small_den v'
+                      end
+                      else begin
+                        sk_ints.(pdx i) <- 0;
+                        sk_ints.(qdx i) <- 0;
+                        bigs := v' :: !bigs
+                      end
+                    end
+                  end
+                  else begin
+                    sk_ints.(jdx i) <- c_ints.(jdx i);
+                    sk_ints.(pdx i) <- c_ints.(pdx i);
+                    sk_ints.(qdx i) <- c_ints.(qdx i)
+                  end
+                done;
+                commit nd !bigs
+              in
+              let has_other = ref false in
+              for b = 0 to k - 1 do
+                if not in_finished.(actives.(b)) then has_other := true
+              done;
+              if (not !has_other) || leftover_zero then emit (-1)
+              else
+                (* Non-wasting: the leftover must go to some still-active
+                   job it cannot finish; if it could finish one, the
+                   larger finish set covers that choice. *)
+                for b = 0 to k - 1 do
+                  let p = actives.(b) in
+                  if not in_finished.(p) then begin
+                    let vq = c_ints.(qdx p) in
+                    let v_gt_leftover =
+                      match lo_big with
+                      | None when vq <> 0 ->
+                        SR.compare c_ints.(pdx p) vq lo.p lo.q > 0
+                      | _ -> Q.(rem_of nd.key p > leftover_boxed ())
+                    in
+                    if v_gt_leftover then emit p
+                  end
+                done
+            end;
+            for b = 0 to k - 1 do
+              if mask land (1 lsl b) <> 0 then in_finished.(actives.(b)) <- false
+            done
+          end
+        done
+      in
+      List.iter expand layer;
+      let candidates = List.rev !rev_order in
       (* Mutual domination forces equality, and equal configs were
          merged above, so discarding every dominated candidate never
-         empties a non-empty layer. *)
+         empties a non-empty layer (and a singleton layer is its own
+         frontier). *)
       let survivors =
         if not prune then candidates
         else
-          List.filter
-            (fun n ->
-              not
-                (List.exists
-                   (fun n' -> n' != n && dominates n'.config n.config)
-                   candidates))
-            candidates
+          match candidates with
+          | [] | [ _ ] -> candidates
+          | [ a; b ] ->
+            (* Two candidates: the sweep reduces to direct checks (the
+               dominator, if any, is the one sorting first). *)
+            if dominates a b then [ a ]
+            else if dominates b a then [ b ]
+            else if node_cmp a b <= 0 then candidates
+            else [ b; a ]
+          | _ -> pareto_sweep candidates
       in
-      List.iter (fun n -> Hashtbl.replace seen n.config ()) survivors;
+      (* Candidates were filtered against [seen], so survivors are new
+         keys: plain add, no lookup-and-replace. *)
+      List.iter (fun n -> H.add seen n.key ()) survivors;
       let width = List.length survivors in
       layer_sizes := width :: !layer_sizes;
       (match layer_hist with
@@ -149,6 +511,9 @@ let solve ?(prune = true) instance =
           ];
       survivors
     in
+    (* One span per time layer. The recursive call happens outside the
+       span so layers appear as siblings under the solve root, not as an
+       ever-deepening chain. *)
     let rec grow layer t =
       if t > max_layers then
         failwith "Opt_config.solve: exceeded layer budget (bug)"
@@ -159,19 +524,39 @@ let solve ?(prune = true) instance =
             "opt_config.layer"
             (fun () -> expand_layer layer)
         in
-        match List.find_opt (fun n -> is_final instance n.config) survivors with
+        match List.find_opt is_final survivors with
         | Some final -> (t, final)
         | None ->
-          if survivors = [] then
-            failwith "Opt_config.solve: dead end (bug)"
+          if survivors = [] then failwith "Opt_config.solve: dead end (bug)"
           else grow survivors (t + 1)
       end
     in
     let makespan, final = grow [ start ] 1 in
+    (* Rebuild each step's share vector from the parent/child keys: a
+       processor whose job count rose was finished (its share is the
+       parent's whole remainder); one whose remainder shrank at the
+       same job received the leftover; everyone else got zero. Shares
+       come out canonical boxed either way, so schedule bytes don't
+       depend on the encoding mode. *)
+    let shares_of parent child =
+      Array.init m (fun i ->
+          if child.key.Key.ints.(jdx i) > parent.key.Key.ints.(jdx i) then
+            rem_of parent.key i
+          else begin
+            let unchanged =
+              child.key.Key.ints.(pdx i) = parent.key.Key.ints.(pdx i)
+              && child.key.Key.ints.(qdx i) = parent.key.Key.ints.(qdx i)
+              && (child.key.Key.ints.(qdx i) <> 0
+                 || Q.equal (rem_of child.key i) (rem_of parent.key i))
+            in
+            if unchanged then Q.zero
+            else Q.sub (rem_of parent.key i) (rem_of child.key i)
+          end)
+    in
     let rec collect node acc =
       match node.parent with
       | None -> acc
-      | Some p -> collect p (node.shares :: acc)
+      | Some p -> collect p (shares_of p node :: acc)
     in
     let rows = collect final [] in
     let schedule = Schedule.of_rows (Array.of_list rows) in

@@ -25,6 +25,7 @@ let share t ~step ~proc =
 
 let row t step = Array.copy t.steps.(step)
 let rows t = Array.map Array.copy t.steps
+let unsafe_rows t = t.steps
 let step_total t step = Q.sum_array t.steps.(step)
 
 let append_step t shares =

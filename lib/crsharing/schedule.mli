@@ -28,6 +28,12 @@ val row : t -> int -> Crs_num.Rational.t array
 val rows : t -> Crs_num.Rational.t array array
 (** Fresh copy of the whole assignment matrix. *)
 
+val unsafe_rows : t -> Crs_num.Rational.t array array
+(** The assignment matrix itself, NOT a copy: [rows.(step).(proc)].
+    Strictly read-only — mutating it corrupts the schedule. For hot
+    read paths (the certifier sweeps whole schedules) where the
+    per-cell bounds checks and copies of {!share}/{!rows} dominate. *)
+
 val step_total : t -> int -> Crs_num.Rational.t
 (** Total resource assigned during a step. *)
 

@@ -12,11 +12,17 @@ type verdict = { completion : int array array; makespan : int }
 
 let feasible schedule =
   let exception Bad of string in
+  (* One fetch of the underlying matrix (read-only) for the whole
+     sweep: per-cell [Schedule.share] calls repeat range checks the
+     loop bounds already guarantee. *)
+  let rows = Schedule.unsafe_rows schedule in
+  let m = Schedule.m schedule in
   try
-    for step = 0 to Schedule.horizon schedule - 1 do
+    for step = 0 to Array.length rows - 1 do
+      let row = rows.(step) in
       let total = ref Q.zero in
-      for proc = 0 to Schedule.m schedule - 1 do
-        let s = Schedule.share schedule ~step ~proc in
+      for proc = 0 to m - 1 do
+        let s = row.(proc) in
         if Q.(s < zero) || Q.(s > one) then
           raise
             (Bad
@@ -40,7 +46,8 @@ let feasible schedule =
    horizon leaves unfinished. *)
 let walk_processor instance schedule i =
   let exception Stuck of int * Q.t in
-  let horizon = Schedule.horizon schedule in
+  let rows = Schedule.unsafe_rows schedule in
+  let horizon = Array.length rows in
   let jobs = Instance.jobs_on instance i in
   let completion = Array.make (Array.length jobs) 0 in
   let step = ref 0 in
@@ -51,7 +58,7 @@ let walk_processor instance schedule i =
         let remaining = ref (Job.size job) in
         while Q.(!remaining > zero) do
           if !step >= horizon then raise (Stuck (j, !remaining));
-          let share = Schedule.share schedule ~step:!step ~proc:i in
+          let share = rows.(!step).(i) in
           (* Eq. 1: a zero-requirement job runs at full speed on any
              share; otherwise speed = min(share / r, 1). *)
           let speed = if Q.is_zero r then Q.one else Q.min (Q.div share r) Q.one in

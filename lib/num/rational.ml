@@ -101,6 +101,14 @@ let minus_one = S { p = -1; q = 1 }
 
 let num = function S { p; _ } -> Bigint.of_int p | B { num; _ } -> num
 let den = function S { q; _ } -> Bigint.of_int q | B { den; _ } -> den
+
+let small_num = function
+  | S { p; _ } -> p
+  | B _ -> invalid_arg "Rational.small_num: bigint-tier value"
+
+let small_den = function
+  | S { q; _ } -> q
+  | B _ -> invalid_arg "Rational.small_den: bigint-tier value"
 let sign = function S { p; _ } -> Stdlib.compare p 0 | B { num; _ } -> Bigint.sign num
 
 (* Zero and one always fit the small tier, so [B] cannot hold them. *)

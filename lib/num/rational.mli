@@ -114,3 +114,12 @@ val is_small : t -> bool
 val is_canonical : t -> bool
 (** Representation invariant: positive denominator, coprime parts, zero
     as 0/1, and the small tier used whenever the value fits it. *)
+
+val small_num : t -> int
+val small_den : t -> int
+(** Parts of a small-tier value, without boxing through [Bigint]. The
+    pair is canonical: denominator positive, parts coprime, both within
+    [small_bound]. Used by the flat DP kernels to keep remainders in
+    plain int arrays ([Smallrat] operates on such pairs).
+    @raise Invalid_argument on a bigint-tier value ([is_small] is
+    false). *)

@@ -1,0 +1,212 @@
+(* Differential parity: the flat-state DP kernels (Opt_two, Opt_config)
+   against the frozen boxed kernels vendored for the benchmark gate
+   (bench/legacy). The bench asserts parity on one Figure-3 instance
+   before timing; this suite pins it across the persisted corpus, a
+   fresh seeded population, and hand-built instances that straddle the
+   small/bigint tier boundary — the layouts' hard cases (common-
+   denominator mode refused, small-tier sums spilling to the side
+   table, bigint-tier requirements).
+
+   Contract: Opt_two must agree byte-for-byte — makespan, every
+   schedule row, and both work counters. Opt_config must agree on
+   makespan, the generated count and the per-layer survivor profile
+   (the flat kernel orders survivors canonically where the boxed one
+   inherited hash-bucket order, so the replayed witness may pick a
+   different equally-good parent); both witnesses must certify. *)
+
+module Q = Crs_num.Rational
+open Crs_core
+module O2 = Crs_algorithms.Opt_two
+module OC = Crs_algorithms.Opt_config
+module L2 = Crs_legacy.Legacy_opt_two
+module LC = Crs_legacy.Legacy_opt_config
+
+let parity_two name instance =
+  let f = O2.solve instance and l = L2.solve instance in
+  Alcotest.(check int) (name ^ ": opt_two makespan") l.L2.makespan f.O2.makespan;
+  Alcotest.(check string)
+    (name ^ ": opt_two schedule rows byte-identical")
+    (Schedule.to_string l.L2.schedule)
+    (Schedule.to_string f.O2.schedule);
+  Alcotest.(check int)
+    (name ^ ": opt_two cells_expanded")
+    l.L2.counters.L2.cells_expanded f.O2.counters.O2.cells_expanded;
+  Alcotest.(check int)
+    (name ^ ": opt_two relaxations")
+    l.L2.counters.L2.relaxations f.O2.counters.O2.relaxations
+
+let parity_config name instance =
+  let f = OC.solve instance and l = LC.solve instance in
+  Alcotest.(check int) (name ^ ": opt_config makespan") l.LC.makespan
+    f.OC.makespan;
+  Alcotest.(check int)
+    (name ^ ": opt_config generated")
+    l.LC.stats.LC.generated f.OC.stats.OC.generated;
+  Alcotest.(check (list int))
+    (name ^ ": opt_config layer profile")
+    l.LC.stats.LC.layers f.OC.stats.OC.layers;
+  (match Crs_fuzz.Certify.check instance f.OC.schedule ~claimed:f.OC.makespan with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "%s: flat witness rejected: %s" name msg);
+  match Crs_fuzz.Certify.check instance l.LC.schedule ~claimed:l.LC.makespan with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "%s: legacy witness rejected: %s" name msg
+
+(* Every pinned corpus entry that a kernel accepts must agree with its
+   frozen baseline (Opt_config is exponential in width, so cap it at
+   instances the boxed kernel solves instantly). *)
+let test_corpus_parity () =
+  let entries = Crs_fuzz.Corpus.load_dir "../data/corpus" in
+  Alcotest.(check bool) "corpus present" true (entries <> []);
+  let two = ref 0 and cfg = ref 0 in
+  List.iter
+    (fun (file, entry) ->
+      match entry with
+      | Error msg -> Alcotest.failf "%s: unreadable corpus entry: %s" file msg
+      | Ok e -> (
+        match Instance.of_string e.Crs_fuzz.Corpus.instance_text with
+        | Error msg -> Alcotest.failf "%s: unparseable instance: %s" file msg
+        | Ok i ->
+          if Instance.is_unit_size i then begin
+            if Instance.m i = 2 then begin
+              incr two;
+              parity_two file i
+            end;
+            if Instance.m i <= 4 && Instance.total_jobs i <= 10 then begin
+              incr cfg;
+              parity_config file i
+            end
+          end))
+    entries;
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus exercised both kernels (opt_two %d, opt_config %d)"
+       !two !cfg)
+    true
+    (!two >= 1 && !cfg >= 1)
+
+(* 200 fresh seeded instances (not from the corpus): 140 two-processor
+   ones through Opt_two (the first 40 also through Opt_config), then 45
+   three- and 15 four-processor ones through Opt_config alone. Mixed
+   granularities keep both encodings in play: most draws stay in
+   common-denominator mode, coprime-granularity pairs fall back to the
+   canonical-pair path. *)
+let test_fresh_seeded_parity () =
+  let st = Random.State.make [| 0xD9; 8 |] in
+  for k = 1 to 140 do
+    let rows =
+      Array.init 2 (fun _ ->
+          let g = 2 + Random.State.int st 11 in
+          Array.init
+            (1 + Random.State.int st 6)
+            (fun _ -> Helpers.rand_req st g))
+    in
+    let i = Instance.of_requirements rows in
+    parity_two (Printf.sprintf "fresh m=2 #%d" k) i;
+    if k <= 40 then parity_config (Printf.sprintf "fresh m=2 #%d" k) i
+  done;
+  for k = 1 to 45 do
+    let rows =
+      Array.init 3 (fun _ ->
+          let g = 2 + Random.State.int st 11 in
+          Array.init
+            (1 + Random.State.int st 3)
+            (fun _ -> Helpers.rand_req st g))
+    in
+    parity_config (Printf.sprintf "fresh m=3 #%d" k) (Instance.of_requirements rows)
+  done;
+  for k = 1 to 15 do
+    let rows =
+      Array.init 4 (fun _ ->
+          let g = 2 + Random.State.int st 11 in
+          Array.init
+            (1 + Random.State.int st 2)
+            (fun _ -> Helpers.rand_req st g))
+    in
+    parity_config (Printf.sprintf "fresh m=4 #%d" k) (Instance.of_requirements rows)
+  done
+
+(* Hand-built instances at the small/bigint seam. [Q.small_bound] is
+   the largest canonical small-tier part; requirements with numerators
+   near it force every escape hatch in turn. *)
+let test_tier_boundary_parity () =
+  let b = Q.small_bound in
+  let i rows = Helpers.instance_of_strings rows in
+  let frac p q = Printf.sprintf "%d/%d" p q in
+  (* Sums of near-bound remainders overflow the small tier: the start
+     cell's remainder already needs the bigint spill table, and the lcm
+     of the denominators is far past small_bound, so common-denominator
+     mode must refuse the instance. *)
+  let spill =
+    i
+      [
+        [ frac (b - 2) b; "1/3"; frac (b - 1) b ];
+        [ frac (b - 3) b; "2/3"; "1/2" ];
+      ]
+  in
+  parity_two "spill-over-bound" spill;
+  parity_config "spill-over-bound" spill;
+  (* Coprime ~2^16 denominators: each requirement is comfortably
+     small-tier but their lcm (~2^32) exceeds small_bound, so the
+     kernels must run the canonical-pair path without ever spilling. *)
+  let lcm_overflow =
+    i
+      [
+        [ frac 1 65521; frac 2 65521; frac 65520 65521 ];
+        [ frac 1 65519; frac 3 65519 ];
+      ]
+  in
+  parity_two "lcm-overflow" lcm_overflow;
+  parity_config "lcm-overflow" lcm_overflow;
+  (* A genuinely bigint-tier requirement (numerator and denominator
+     above small_bound): prefetch leaves reqq = 0 and every touch of
+     this job must take the boxed route. *)
+  let big_req =
+    i
+      [
+        [ frac (b + 1) (b + 2); "1/2" ];
+        [ "1/2"; frac (b + 1) (b + 2) ];
+      ]
+  in
+  parity_two "bigint-requirement" big_req;
+  parity_config "bigint-requirement" big_req;
+  (* lcm exactly AT the bound (small_bound is prime, so a denominator
+     of small_bound pins the lcm there): the largest denominator
+     common-denominator mode may accept. *)
+  let at_bound =
+    i [ [ frac 1 b; frac 2 b ]; [ frac 3 b; frac 1 b ] ]
+  in
+  parity_two "lcm-at-bound" at_bound;
+  parity_config "lcm-at-bound" at_bound
+
+(* The rewrite hoisted Opt_two's fuel tick past the reachability check:
+   fuel is charged per REACHED cell, and the cells_expanded counter is
+   now exactly the solve's fuel price. The instance keeps the start
+   remainder <= 1, so the DP walks the diagonal and most grid cells
+   stay unreachable — the pre-rewrite kernel ticked all of them. *)
+let test_fuel_price_is_reachable_cells () =
+  let i = Helpers.instance_of_strings [ [ "1/4"; "1/2" ]; [ "1/4"; "1/2" ] ] in
+  let before = Crs_util.Fuel.ticks () in
+  let sol = O2.solve i in
+  let spent = Crs_util.Fuel.ticks () - before in
+  Alcotest.(check int) "diagonal instance reaches 2 of 8 grid cells" 2
+    sol.O2.counters.O2.cells_expanded;
+  Alcotest.(check int) "fuel spent = cells expanded"
+    sol.O2.counters.O2.cells_expanded spent;
+  Alcotest.(check int) "budget = reachable count completes" 2
+    (Crs_util.Fuel.with_fuel (Some 2) (fun () -> O2.makespan i));
+  Alcotest.(check bool) "one tick fewer runs dry" true
+    (match Crs_util.Fuel.with_fuel (Some 1) (fun () -> O2.makespan i) with
+    | _ -> false
+    | exception Crs_util.Fuel.Out_of_fuel -> true)
+
+let suite =
+  [
+    Alcotest.test_case "corpus instances agree with frozen kernels" `Quick
+      test_corpus_parity;
+    Alcotest.test_case "200 fresh seeded instances agree" `Quick
+      test_fresh_seeded_parity;
+    Alcotest.test_case "tier-boundary instances agree" `Quick
+      test_tier_boundary_parity;
+    Alcotest.test_case "opt_two fuel price = reachable cells" `Quick
+      test_fuel_price_is_reachable_cells;
+  ]

@@ -9,6 +9,7 @@ let () =
       ("online", Test_online.suite);
       ("hypergraph", Test_hypergraph.suite);
       ("algorithms", Test_algorithms.suite);
+      ("dp_parity", Test_dp_parity.suite);
       ("registry", Test_registry.suite);
       ("reduction", Test_reduction.suite);
       ("binpack", Test_binpack.suite);

@@ -253,6 +253,34 @@ let test_server_fuel_timeout () =
       Alcotest.(check bool) "span carries timeout status" true
         (Helpers.contains ~needle:"timeout" signature))
 
+(* The flat Opt_two kernel charges fuel per REACHED cell (the tick sits
+   after the reachability check), so a solve's exact fuel price is its
+   cells_expanded counter: that budget succeeds, one tick fewer is a
+   deterministic timeout. The instance keeps the start remainder <= 1,
+   so the DP walks the diagonal and most grid cells stay unreachable —
+   exactly the cells the hoisted tick stopped charging for. *)
+let test_server_fuel_opt_two_pinned () =
+  with_server small_config (fun server ->
+      let instance =
+        Helpers.instance_of_strings [ [ "1/4"; "1/2" ]; [ "1/4"; "1/2" ] ]
+      in
+      let price =
+        (Crs_algorithms.Opt_two.solve instance).counters.cells_expanded
+      in
+      Alcotest.(check int) "diagonal instance reaches 2 of 8 grid cells" 2 price;
+      let status fuel =
+        response_status
+          (Server.handle_line server
+             (solve_line
+                ~extra:
+                  [ ("algorithm", J.str R.Names.opt_two); ("fuel", J.int fuel) ]
+                instance))
+      in
+      Alcotest.(check string) "one tick under the price times out" "timeout"
+        (status (price - 1));
+      Alcotest.(check string) "budget = reachable cells solves" "ok"
+        (status price))
+
 let test_server_cache_hits () =
   with_server small_config (fun server ->
       let i = random_instance 8 in
@@ -443,6 +471,8 @@ let suite =
       test_server_overload_sheds_batch_tail;
     Alcotest.test_case "server: fuel deadline is a structured timeout" `Quick
       test_server_fuel_timeout;
+    Alcotest.test_case "server: opt_two fuel price pinned to reached cells"
+      `Quick test_server_fuel_opt_two_pinned;
     Alcotest.test_case "server: memo cache hits on repeats" `Quick
       test_server_cache_hits;
     Alcotest.test_case "server: stats expose executor saturation" `Quick
