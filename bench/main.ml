@@ -866,21 +866,35 @@ let exp_campaign () =
 
 (* ---------- serve: solver-as-a-service daemon ---------- *)
 
-let exp_serve () =
+let exp_serve ?(mode = `Run) () =
   banner "serve" "solver-as-a-service daemon (crs-serve/1)"
     "dynamic arrivals (closed-loop, Poisson, bursty — the workload shapes of \
-     dynamic vs batch scheduling) against a long-running daemon; canonically \
-     equivalent instances are answered from the memo cache without re-solving";
+     dynamic vs batch scheduling) against a long-running daemon, then the \
+     concurrent frontend: interleaved connections must answer byte-identically \
+     to a single-connection run";
   let module S = Crs_serve.Server in
   let module L = Crs_serve.Loadgen in
   let module P = Crs_serve.Protocol in
   let module J = Crs_util.Stable_json in
-  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let server =
-    S.create
-      { S.workers = 2; queue = 64; cache_capacity = 128;
-        default_fuel = Some 5_000_000 }
+  let closed_n, poisson_n, bursty_n, conns, multi_n, ident_per_conn =
+    match mode with
+    | `Run -> (400, 300, 300, 4, 400, 25)
+    | `Smoke -> (40, 20, 20, 2, 24, 6)
   in
+  (* Queue sized above the identity pass's worst case (4 connections x
+     25 pipelined solves all admitted at once). *)
+  let config =
+    {
+      S.default_config with
+      S.workers = 2;
+      queue = 128;
+      cache_capacity = 128;
+      default_fuel = Some 5_000_000;
+      drain_grace_s = 0.2;
+    }
+  in
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server = S.create config in
   let daemon =
     Domain.spawn (fun () ->
         S.serve_io server ~input:server_fd ~output:server_fd;
@@ -907,14 +921,14 @@ let exp_serve () =
       ]
   in
   let workload n = List.init n (fun i -> solve_line instances.(i mod 8)) in
-  let closed = L.run client ~arrival:L.Closed_loop ~requests:(workload 400) in
+  let closed = L.run client ~arrival:L.Closed_loop ~requests:(workload closed_n) in
   let poisson =
     L.run ~seed:2 client ~arrival:(L.Poisson { rate = 2000.0 })
-      ~requests:(workload 300)
+      ~requests:(workload poisson_n)
   in
   let bursty =
     L.run ~seed:3 client ~arrival:(L.Bursty { burst = 20; rate = 50.0 })
-      ~requests:(workload 300)
+      ~requests:(workload bursty_n)
   in
   (* Canonical equivalence: a processor permutation and a zero-padded
      variant of the same instance must get byte-identical responses. *)
@@ -928,6 +942,15 @@ let exp_serve () =
   let stats_line =
     J.obj [ ("proto", J.str P.version); ("kind", J.str "stats") ]
   in
+  let hello_line =
+    J.obj [ ("proto", J.str P.version); ("kind", J.str "hello") ]
+  in
+  (* hello seeds the control histogram; the first stats request seeds the
+     stats histogram (a request's latency lands after its own response is
+     assembled), so the SECOND stats response carries a sample for every
+     kind this workload exercised. *)
+  ignore (L.Client.rpc client hello_line);
+  ignore (L.Client.rpc client stats_line);
   let stats_json =
     match J.parse (L.Client.rpc client stats_line) with
     | Ok v -> v
@@ -938,6 +961,14 @@ let exp_serve () =
     | Some (J.Int i) -> i
     | _ -> failwith ("serve stats: missing cache." ^ field)
   in
+  let lat_int kind field =
+    match
+      Option.bind (J.member "latency" stats_json) (fun l ->
+          Option.bind (J.member kind l) (J.member field))
+    with
+    | Some (J.Int i) -> i
+    | _ -> failwith (Printf.sprintf "serve stats: missing latency.%s.%s" kind field)
+  in
   let hits = cache_int "hits" and misses = cache_int "misses" in
   let hit_rate = float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses)) in
   let shutdown_line =
@@ -947,6 +978,70 @@ let exp_serve () =
   Domain.join daemon;
   Unix.close client_fd;
   Unix.close server_fd;
+  (* ---- phase 2: the concurrent frontend ---- *)
+  (* A fresh server driven through Server.attach over socketpairs — the
+     exact reader path the accept loop uses, minus the listener. The
+     cache is prewarmed by computing the goldens, so the concurrent run
+     is all hits and the responses are the canonical bytes. *)
+  let server2 = S.create config in
+  let golden = Array.map (fun i -> S.handle_line server2 (solve_line i)) instances in
+  let conn_fds =
+    Array.init conns (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let readers =
+    Array.map
+      (fun (sfd, _) ->
+        match S.attach server2 sfd with
+        | Some th -> th
+        | None -> failwith "serve bench: connection refused below max-conns")
+      conn_fds
+  in
+  let clients = Array.map (fun (_, cfd) -> L.Client.of_fd cfd) conn_fds in
+  let multi =
+    L.run_multi ~seed:5 clients ~arrival:L.Closed_loop ~requests:(workload multi_n)
+  in
+  (* Interleaved byte-identity: every connection pipelines its whole
+     slice in one write (maximal interleaving on the server), then reads
+     back positionally; each response must equal the single-connection
+     golden for its instance. *)
+  let ident_failures = Atomic.make 0 in
+  let ident_threads =
+    Array.mapi
+      (fun c cl ->
+        Thread.create
+          (fun () ->
+            let ks = List.init ident_per_conn (fun j -> (c + j) mod 8) in
+            List.iter
+              (fun k -> L.Client.send_line cl (solve_line instances.(k)))
+              ks;
+            List.iter
+              (fun k ->
+                match L.Client.recv_line cl with
+                | Some r when String.equal r golden.(k) -> ()
+                | _ -> Atomic.incr ident_failures)
+              ks)
+          ())
+      clients
+  in
+  Array.iter Thread.join ident_threads;
+  let concurrent_byte_identical = Atomic.get ident_failures = 0 in
+  let stats2_json =
+    match J.parse (J.obj (S.stats_payload server2)) with
+    | Ok v -> v
+    | Error msg -> failwith ("serve stats payload unparseable: " ^ msg)
+  in
+  let conn_int field =
+    match Option.bind (J.member "connections" stats2_json) (J.member field) with
+    | Some (J.Int i) -> i
+    | _ -> failwith ("serve stats: missing connections." ^ field)
+  in
+  let accepted = conn_int "accepted" and refused = conn_int "refused" in
+  ignore (L.Client.rpc clients.(0) shutdown_line);
+  Array.iter Thread.join readers;
+  Array.iter
+    (fun (_, cfd) -> try Unix.close cfd with Unix.Unix_error _ -> ())
+    conn_fds;
+  S.drain server2;
   let row name (s : L.stats) =
     [
       name; string_of_int s.L.sent; string_of_int s.L.received;
@@ -958,62 +1053,136 @@ let exp_serve () =
     (T.render
        ~header:[ "arrival"; "sent"; "recv"; "req/s"; "p50 ms"; "p99 ms" ]
        [ row "closed-loop" closed; row "poisson(2000/s)" poisson;
-         row "bursty(20@50/s)" bursty ]);
+         row "bursty(20@50/s)" bursty;
+         row (Printf.sprintf "multi-conn(%d)" conns) multi ]);
   Printf.printf "cache: %d hits / %d misses (hit rate %.3f)\n" hits misses
     hit_rate;
   Printf.printf "canonical equivalence responses byte-identical: %b\n"
     byte_identical;
+  Printf.printf
+    "concurrent responses byte-identical to single-connection goldens: %b\n"
+    concurrent_byte_identical;
+  let lat_kinds = [ "solve"; "campaign"; "stats"; "control" ] in
+  List.iter
+    (fun kind ->
+      Printf.printf "latency.%s: count %d, p50 <= %d us, p99 <= %d us, max %d us\n"
+        kind (lat_int kind "count") (lat_int kind "p50_us")
+        (lat_int kind "p99_us") (lat_int kind "max_us"))
+    lat_kinds;
+  Printf.printf "connections: %d accepted, %d refused\n" accepted refused;
   let complete (s : L.stats) = s.L.received = s.L.sent && s.L.sent > 0 in
   let worst_p99 = Float.max closed.L.p99_ms (Float.max poisson.L.p99_ms bursty.L.p99_ms) in
-  let gate_throughput = closed.L.throughput_rps >= 200.0 in
-  let gate_p99 = worst_p99 <= 250.0 in
   let gate_cache = hit_rate > 0.0 in
-  let gate_complete = complete closed && complete poisson && complete bursty in
-  Printf.printf
-    "gates: throughput>=200rps %b, p99<=250ms %b (worst %.3f), hit_rate>0 %b, \
-     all_answered %b, byte_identical %b\n"
-    gate_throughput gate_p99 worst_p99 gate_cache gate_complete byte_identical;
-  let stats_obj (s : L.stats) =
-    J.obj
-      [
-        ("sent", J.int s.L.sent);
-        ("received", J.int s.L.received);
-        ("throughput_rps", J.float s.L.throughput_rps);
-        ("p50_ms", J.float s.L.p50_ms);
-        ("p99_ms", J.float s.L.p99_ms);
-        ("max_ms", J.float s.L.max_ms);
-      ]
+  let gate_complete =
+    complete closed && complete poisson && complete bursty && complete multi
   in
-  let json =
-    J.obj
-      [
-        ("closed_loop", stats_obj closed);
-        ("poisson", stats_obj poisson);
-        ("bursty", stats_obj bursty);
-        ( "cache",
-          J.obj
-            [
-              ("hits", J.int hits);
-              ("misses", J.int misses);
-              ("hit_rate", J.float hit_rate);
-            ] );
-        ("byte_identical", J.bool byte_identical);
-        ( "gates",
-          J.obj
-            [
-              ("throughput", J.bool gate_throughput);
-              ("p99", J.bool gate_p99);
-              ("cache_hit_rate", J.bool gate_cache);
-              ("all_answered", J.bool gate_complete);
-              ("byte_identical", J.bool byte_identical);
-            ] );
-      ]
+  let gate_accounting = accepted = conns && refused = 0 in
+  (* Per-kind server-side p99 (log2 bucket upper edge, so the gate is a
+     power of two): 2^18 us ~ 262 ms, in line with the 250 ms
+     client-side gate. Campaign saw no traffic here; gate the kinds the
+     workload exercised. *)
+  let p99_gate_us = 262144 in
+  let gated_kinds = [ "solve"; "stats"; "control" ] in
+  let gate_per_kind_p99 =
+    List.for_all
+      (fun kind ->
+        lat_int kind "count" > 0 && lat_int kind "p99_us" <= p99_gate_us)
+      gated_kinds
   in
-  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
-      Out_channel.output_string oc (json ^ "\n"));
-  Printf.printf "wrote BENCH_serve.json\n";
-  assert (gate_throughput && gate_p99 && gate_cache && gate_complete
-          && byte_identical)
+  let gate_throughput = closed.L.throughput_rps >= 200.0 in
+  (* The multi-connection gate is conservative: this box may be a single
+     core, so concurrency buys interleaving, not parallel solving. *)
+  let gate_multi_throughput = multi.L.throughput_rps >= 150.0 in
+  let gate_p99 = worst_p99 <= 250.0 in
+  (match mode with
+  | `Smoke ->
+    Printf.printf
+      "smoke run: timings carry no signal, timing gates not judged \
+       (correctness asserts still run)\n";
+    assert gate_complete;
+    assert gate_cache;
+    assert byte_identical;
+    assert concurrent_byte_identical;
+    assert gate_accounting
+  | `Run ->
+    Printf.printf
+      "gates: throughput>=200rps %b, multi_conn>=150rps %b, p99<=250ms %b \
+       (worst %.3f), per_kind_p99<=%dus %b, hit_rate>0 %b, all_answered %b, \
+       byte_identical %b, concurrent_byte_identical %b, accounting %b\n"
+      gate_throughput gate_multi_throughput gate_p99 worst_p99 p99_gate_us
+      gate_per_kind_p99 gate_cache gate_complete byte_identical
+      concurrent_byte_identical gate_accounting;
+    let stats_obj (s : L.stats) =
+      J.obj
+        [
+          ("sent", J.int s.L.sent);
+          ("received", J.int s.L.received);
+          ("throughput_rps", J.float s.L.throughput_rps);
+          ("p50_ms", J.float s.L.p50_ms);
+          ("p99_ms", J.float s.L.p99_ms);
+          ("max_ms", J.float s.L.max_ms);
+        ]
+    in
+    let lat_obj kind =
+      J.obj
+        [
+          ("count", J.int (lat_int kind "count"));
+          ("p50_us", J.int (lat_int kind "p50_us"));
+          ("p99_us", J.int (lat_int kind "p99_us"));
+          ("max_us", J.int (lat_int kind "max_us"));
+        ]
+    in
+    let json =
+      J.obj
+        [
+          ("closed_loop", stats_obj closed);
+          ("poisson", stats_obj poisson);
+          ("bursty", stats_obj bursty);
+          ( "multi_conn",
+            J.obj
+              [
+                ("conns", J.int conns);
+                ("sent", J.int multi.L.sent);
+                ("received", J.int multi.L.received);
+                ("throughput_rps", J.float multi.L.throughput_rps);
+                ("p50_ms", J.float multi.L.p50_ms);
+                ("p99_ms", J.float multi.L.p99_ms);
+                ("byte_identical", J.bool concurrent_byte_identical);
+              ] );
+          ( "latency_us",
+            J.obj (List.map (fun kind -> (kind, lat_obj kind)) lat_kinds) );
+          ( "connections",
+            J.obj [ ("accepted", J.int accepted); ("refused", J.int refused) ]
+          );
+          ( "cache",
+            J.obj
+              [
+                ("hits", J.int hits);
+                ("misses", J.int misses);
+                ("hit_rate", J.float hit_rate);
+              ] );
+          ("byte_identical", J.bool byte_identical);
+          ( "gates",
+            J.obj
+              [
+                ("throughput", J.bool gate_throughput);
+                ("multi_conn_throughput", J.bool gate_multi_throughput);
+                ("p99", J.bool gate_p99);
+                ("per_kind_p99", J.bool gate_per_kind_p99);
+                ("cache_hit_rate", J.bool gate_cache);
+                ("all_answered", J.bool gate_complete);
+                ("byte_identical", J.bool byte_identical);
+                ("concurrent_byte_identical", J.bool concurrent_byte_identical);
+                ("conn_accounting", J.bool gate_accounting);
+              ] );
+        ]
+    in
+    Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+        Out_channel.output_string oc (json ^ "\n"));
+    Printf.printf "wrote BENCH_serve.json\n";
+    assert (gate_throughput && gate_multi_throughput && gate_p99
+            && gate_per_kind_p99 && gate_cache && gate_complete
+            && byte_identical && concurrent_byte_identical && gate_accounting))
 
 (* ---------- registry: dispatch overhead ---------- *)
 
@@ -1601,16 +1770,18 @@ let exp_dp ?(mode = `Run) () =
 (* ---------- smoke: tiny-n pass over every gated experiment ---------- *)
 
 (* `dune build @bench-smoke` runs this: exercises the num / obs / dp /
-   registry experiment machinery end to end at sizes where each takes
-   well under a second, writes no files and judges no timing gates
-   (correctness asserts — differential checks, kernel parity — still
-   run). Catches bit-rot in the bench harness itself without paying for
-   a full calibrated run. *)
+   registry / serve experiment machinery end to end at sizes where each
+   takes well under a second, writes no files and judges no timing gates
+   (correctness asserts — differential checks, kernel parity, the serve
+   frontend's concurrent byte-identity over >= 2 live connections —
+   still run). Catches bit-rot in the bench harness itself without
+   paying for a full calibrated run. *)
 let smoke () =
   exp_num ~mode:`Check ();
   exp_obs ~mode:`Smoke ();
   exp_dp ~mode:`Smoke ();
-  exp_registry ~mode:`Smoke ()
+  exp_registry ~mode:`Smoke ();
+  exp_serve ~mode:`Smoke ()
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -1679,7 +1850,7 @@ let experiments =
     ("l56", exp_l56); ("mc", exp_mc); ("ext", exp_ext); ("bp", exp_bp);
     ("dc", exp_dc); ("fa", exp_fa); ("mr", exp_mr); ("ablation", exp_ablation);
     ("campaign", exp_campaign); ("registry", fun () -> exp_registry ());
-    ("serve", exp_serve);
+    ("serve", fun () -> exp_serve ());
     ("fuzz", exp_fuzz); ("num", fun () -> exp_num ());
     ("obs", fun () -> exp_obs ());
     ("dp", fun () -> exp_dp ());

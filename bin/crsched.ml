@@ -1109,20 +1109,54 @@ let serve_cmd =
             "Default per-request fuel deadline for requests that do not set \
              one; 0 means unlimited.")
   in
-  let run listen stdio workers queue cache fuel =
-    if workers < 1 || queue < 1 || cache < 0 || fuel < 0 then begin
+  let max_conns =
+    Arg.(
+      value & opt int d.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection bound: connections beyond $(docv) are \
+             answered with one structured $(b,overloaded) response and \
+             closed.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int d.backlog
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"listen(2) backlog for the accepting socket.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float d.idle_timeout_s
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection read deadline: a connection that starts a frame \
+             but completes no further byte for $(docv) seconds is evicted \
+             with a structured response (slow-loris defence). Idle \
+             connections with no partial frame are never evicted. 0 \
+             disables the deadline.")
+  in
+  let run listen stdio workers queue cache fuel max_conns backlog idle_timeout =
+    if
+      workers < 1 || queue < 1 || cache < 0 || fuel < 0 || max_conns < 1
+      || backlog < 1 || idle_timeout < 0.0
+    then begin
       Printf.eprintf
         "error: invalid serve parameters (workers %d, queue %d, cache %d, \
-         fuel %d)\n"
-        workers queue cache fuel;
+         fuel %d, max-conns %d, backlog %d, idle-timeout %g)\n"
+        workers queue cache fuel max_conns backlog idle_timeout;
       exit 1
     end;
     let config =
       {
+        Server.default_config with
         Server.workers;
         queue;
         cache_capacity = cache;
         default_fuel = (if fuel = 0 then None else Some fuel);
+        max_conns;
+        backlog;
+        idle_timeout_s = idle_timeout;
       }
     in
     if stdio then begin
@@ -1136,7 +1170,7 @@ let serve_cmd =
         Printf.eprintf "error: %s\n" msg;
         exit exit_bad_listen
       | Ok addr -> (
-        match Server.bind_address addr with
+        match Server.bind_address ~backlog addr with
         | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit exit_bind_failed
@@ -1159,16 +1193,23 @@ let serve_cmd =
            `P
              "Long-running daemon speaking the line-delimited crs-serve/1 \
               JSON protocol: one request object per line, one response per \
-              line, in order. Solve and campaign requests run on a bounded \
-              worker pool behind admission control; canonically equivalent \
-              instances (processor permutation, zero-requirement padding) \
-              are answered from a memo cache without re-solving.";
+              line, in per-connection order. Connections are served \
+              concurrently (one reader per connection, bounded by \
+              $(b,--max-conns)); solve and campaign requests run on a \
+              bounded worker pool behind shared admission control; \
+              canonically equivalent instances (processor permutation, \
+              zero-requirement padding) are answered from a memo cache \
+              without re-solving. Idle connections are evicted after \
+              $(b,--idle-timeout) seconds; a shutdown request drains all \
+              live connections gracefully.";
            `P
              "Example: echo \
               '{\"proto\":\"crs-serve/1\",\"kind\":\"solve\",\"instance\":\"1/2 \
               1/3\\n1/4\"}' | crsched serve --stdio";
          ])
-    Term.(const run $ listen $ stdio $ workers $ queue $ cache $ fuel)
+    Term.(
+      const run $ listen $ stdio $ workers $ queue $ cache $ fuel $ max_conns
+      $ backlog $ idle_timeout)
 
 let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in

@@ -265,10 +265,73 @@ let await_all t =
 
 let pending t = Atomic.get t.pending
 
+(* Per-batch completion: the wrapper settles the batch's own pending
+   counter and failure slot, then the executor's run_task settles the
+   global ones. The wrapper never raises, so a batch task's exception
+   stays in its batch and cannot leak into the executor-wide [failed]
+   slot that await_all reads. *)
+module Batch = struct
+  type exec = t
+
+  type t = {
+    exec : exec;
+    pending : int Atomic.t;
+    failed : exn option Atomic.t;
+    mutex : Mutex.t;
+    done_cond : Condition.t;
+  }
+
+  let create exec =
+    {
+      exec;
+      pending = Atomic.make 0;
+      failed = Atomic.make None;
+      mutex = Mutex.create ();
+      done_cond = Condition.create ();
+    }
+
+  let submit b task =
+    Atomic.incr b.pending;
+    match
+      submit b.exec (fun () ->
+          (match task () with
+          | () -> ()
+          | exception e ->
+            ignore (Atomic.compare_and_set b.failed None (Some e)));
+          if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+            (* The broadcast runs under the batch mutex, so it cannot
+               land between await's pending check and its wait. *)
+            Mutex.lock b.mutex;
+            Condition.broadcast b.done_cond;
+            Mutex.unlock b.mutex
+          end)
+    with
+    | () -> ()
+    | exception e ->
+      (* submit refused (executor shut down): the task never ran. *)
+      Atomic.decr b.pending;
+      raise e
+
+  let await b =
+    Mutex.lock b.mutex;
+    while Atomic.get b.pending > 0 do
+      Condition.wait b.done_cond b.mutex
+    done;
+    Mutex.unlock b.mutex;
+    Atomic.exchange b.failed None
+end
+
+(* [queued] counts tasks waiting to run (injector + deques), not
+   [pending]: pending also covers tasks whose body has returned but
+   whose worker hasn't retired the bookkeeping yet — a Batch.await
+   caller reading stats right after completion would see a phantom
+   backlog. *)
 let stats t =
   {
     workers = size t;
-    queued = Atomic.get t.pending;
+    queued =
+      Atomic.get t.inject_len
+      + Array.fold_left (fun acc d -> acc + Deque.size d) 0 t.deques;
     injected = Atomic.get t.inject_len;
     depths = Array.map Deque.size t.deques;
     pushes = Atomic.get t.s_pushes;

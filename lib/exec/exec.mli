@@ -37,7 +37,9 @@ type t
 (** Saturation snapshot, cheap enough to build per stats request. *)
 type stats = {
   workers : int;  (** worker domain count *)
-  queued : int;  (** tasks submitted and not yet finished (incl. running) *)
+  queued : int;
+      (** tasks waiting to run (injector + deques), excluding running
+          ones — deterministically 0 right after a batch completes *)
   injected : int;  (** external submissions not yet picked up by a worker *)
   depths : int array;  (** per-worker deque occupancy snapshot *)
   pushes : int;  (** tasks pushed (external + worker-local), lifetime *)
@@ -70,13 +72,40 @@ val await_all : t -> exn option
     executor-wide pending counter and one first-failure slot, so two
     overlapping submit/await_all rounds on the same executor would wait
     on each other's tasks and could misattribute each other's first
-    exception. Callers multiplexing an executor (e.g. a multi-accept
-    server) must serialize batches or layer their own per-batch
-    completion handle on {!submit}. *)
+    exception. Callers multiplexing an executor (e.g. the multi-accept
+    serve frontend) must use {!Batch} handles, which scope completion
+    and failure to one batch. *)
 
 val pending : t -> int
 (** Tasks submitted and not yet finished — the backlog admission
     control sheds against. *)
+
+(** Per-batch completion handles, for callers that multiplex one
+    executor from several threads (the multi-connection serve frontend:
+    one reader per connection, each processing its own batches).
+    Unlike {!await_all}, a batch tracks only its own tasks — its own
+    pending counter and first-failure slot — so overlapping batches on
+    the same executor neither wait on each other's tasks nor steal each
+    other's exceptions. Batch tasks still count toward the executor's
+    {!pending} (admission budgets keep working) and are drained by
+    {!shutdown} like any other task. *)
+module Batch : sig
+  type exec := t
+  type t
+
+  val create : exec -> t
+  (** A fresh handle; cheap enough to build per request batch. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a task charged to this batch.
+      @raise Invalid_argument after the executor's {!shutdown}. *)
+
+  val await : t -> exn option
+  (** Block until every task submitted to {i this} batch has finished.
+      Returns this batch's first task exception ([None] when all
+      succeeded) and clears it, so the handle could be reused — though
+      one handle per batch is the intended shape. *)
+end
 
 val stats : t -> stats
 

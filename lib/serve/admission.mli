@@ -6,10 +6,13 @@
     cheap [overloaded] response instead of queueing unboundedly. The
     budget is charged against the executor's live backlog
     ({!Crs_exec.Exec.pending}), so concurrent or carried-over work
-    counts; with batches processed one at a time the backlog is zero at
-    batch start and shedding is deterministic at the batch level — the
-    first [queue] work items of a batch are admitted in arrival order,
-    the rest shed, so tests can assert exact shed counts.
+    counts; on a quiet executor the backlog is zero at batch start and
+    shedding is deterministic at the batch level — the first [queue]
+    work items of a batch are admitted in arrival order, the rest shed,
+    so tests can assert exact shed counts. Under concurrent connections
+    every reader's batches share this one budget: {!map} is
+    thread-safe (each call waits on a private {!Crs_exec.Exec.Batch}
+    handle, never on other callers' tasks).
 
     The executor ({!Crs_exec.Exec}) is created once and reused across
     batches; {!drain} joins the workers on shutdown. *)

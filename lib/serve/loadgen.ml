@@ -70,6 +70,7 @@ type stats = {
   p50_ms : float;
   p99_ms : float;
   max_ms : float;
+  latencies_ms : float array;
 }
 
 let percentile sorted p =
@@ -118,6 +119,7 @@ let finish ~sent ~received ~first_send ~last_recv latencies =
     p50_ms = percentile sorted 0.50;
     p99_ms = percentile sorted 0.99;
     max_ms = percentile sorted 1.0;
+    latencies_ms = sorted;
   }
 
 let run ?(seed = 1) (client : Client.t) ~arrival ~requests =
@@ -201,3 +203,54 @@ let run ?(seed = 1) (client : Client.t) ~arrival ~requests =
       finish ~sent:!sent ~received:!received ~first_send:start
         ~last_recv:!last_recv
         (Array.sub latencies 0 !received)
+
+(* Multi-connection mode: the workload is split round-robin across k
+   clients, each driven by its own thread under the same arrival shape
+   with a seed derived deterministically from [seed] and the connection
+   index — one master seed reproduces the whole cross-connection
+   schedule. Per-connection response matching stays positional (each
+   connection's responses come back in its own request order); the
+   aggregate merges every connection's latency samples, so percentiles
+   are over the full request population, and clocks throughput on the
+   slowest connection's span. *)
+let run_multi ?(seed = 1) clients ~arrival ~requests =
+  let k = Array.length clients in
+  if k = 0 then invalid_arg "Loadgen.run_multi: no clients";
+  let slices = Array.make k [] in
+  List.iteri (fun i r -> slices.(i mod k) <- r :: slices.(i mod k)) requests;
+  let slices = Array.map List.rev slices in
+  let empty = finish ~sent:0 ~received:0 ~first_send:0L ~last_recv:0L [||] in
+  let results = Array.make k empty in
+  let threads =
+    Array.mapi
+      (fun c client ->
+        Thread.create
+          (fun () ->
+            results.(c) <-
+              run ~seed:(seed + (31 * c)) client ~arrival
+                ~requests:slices.(c))
+          ())
+      clients
+  in
+  Array.iter Thread.join threads;
+  let all =
+    Array.concat (Array.to_list (Array.map (fun s -> s.latencies_ms) results))
+  in
+  Array.sort compare all;
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 results in
+  let duration_ns =
+    Array.fold_left (fun acc s -> Int64.max acc s.duration_ns) 0L results
+  in
+  let duration_s = Int64.to_float duration_ns /. 1e9 in
+  let received = sum (fun s -> s.received) in
+  {
+    sent = sum (fun s -> s.sent);
+    received;
+    duration_ns;
+    throughput_rps =
+      (if duration_s > 0.0 then float_of_int received /. duration_s else 0.0);
+    p50_ms = percentile all 0.50;
+    p99_ms = percentile all 0.99;
+    max_ms = percentile all 1.0;
+    latencies_ms = all;
+  }

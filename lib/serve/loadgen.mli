@@ -46,6 +46,9 @@ type stats = {
   p50_ms : float;
   p99_ms : float;
   max_ms : float;
+  latencies_ms : float array;
+      (** every per-request latency sample, sorted ascending — what
+          {!run_multi} merges so aggregate percentiles stay exact *)
 }
 
 val run :
@@ -53,6 +56,21 @@ val run :
 (** Send every request under the arrival process and collect exactly one
     response per request. [seed] (default 1) feeds the open-loop
     schedule. *)
+
+val run_multi :
+  ?seed:int ->
+  Client.t array ->
+  arrival:arrival ->
+  requests:string list ->
+  stats
+(** Multi-connection mode: split the workload round-robin across the
+    clients and drive each on its own thread under [arrival], with
+    per-connection open-loop schedules derived deterministically from
+    [seed] and the connection index. The aggregate sums sent/received,
+    merges all latency samples (percentiles are over the full
+    population) and clocks throughput on the slowest connection's
+    span.
+    @raise Invalid_argument on an empty client array. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted p] with [p] in [0,1]; nearest-rank on a sorted

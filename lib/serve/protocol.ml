@@ -229,5 +229,32 @@ let timeout ~fuel ~fuel_ticks =
 
 let overloaded () = [ ("status", J.str "overloaded") ]
 
+(* Connection-level refusals (additive statuses in crs-serve/1; the
+   [req] field of these responses is "connection"). *)
+
+let draining () =
+  [
+    ("status", J.str "draining");
+    ("error", J.str "server is draining; request refused");
+  ]
+
+let evicted ~idle_s =
+  [
+    ("status", J.str "evicted");
+    ( "error",
+      J.str
+        (Printf.sprintf "connection evicted: idle deadline %.3fs exceeded"
+           idle_s) );
+  ]
+
+let oversized ~limit =
+  [
+    ("status", J.str "error");
+    ( "error",
+      J.str
+        (Printf.sprintf
+           "frame exceeds the %d-byte line limit; closing connection" limit) );
+  ]
+
 let not_applicable reason =
   [ ("status", J.str "not_applicable"); ("reason", J.str reason) ]

@@ -26,7 +26,10 @@
     client sent one — responses are otherwise byte-stable functions of
     the request body) and carry ["kind":"response"], ["req"] naming the
     request kind, and a ["status"] of [ok], [error], [timeout],
-    [overloaded] or [not_applicable]. *)
+    [overloaded], [not_applicable], [draining] or [evicted]. The last
+    two arrive with ["req":"connection"]: they are connection-level
+    events (a refusal during graceful drain, an idle-deadline eviction)
+    rather than answers to a particular request body. *)
 
 val version : string
 (** ["crs-serve/1"]. *)
@@ -97,3 +100,16 @@ val error : string -> (string * string) list
 val timeout : fuel:int -> fuel_ticks:int -> (string * string) list
 val overloaded : unit -> (string * string) list
 val not_applicable : string -> (string * string) list
+
+val draining : unit -> (string * string) list
+(** [status draining]: the server acknowledged a shutdown and refuses
+    new work while live connections quiesce. *)
+
+val evicted : idle_s:float -> (string * string) list
+(** [status evicted]: the connection sat idle (no complete frame) past
+    the server's read deadline and is being closed — the slow-loris
+    answer. Names the deadline that was exceeded. *)
+
+val oversized : limit:int -> (string * string) list
+(** [status error] naming the per-line byte limit a frame exceeded; the
+    server closes the offending connection after sending it. *)

@@ -8,10 +8,92 @@ type config = {
   queue : int;
   cache_capacity : int;
   default_fuel : int option;
+  max_conns : int;
+  backlog : int;
+  idle_timeout_s : float;
+  drain_grace_s : float;
+  max_line_bytes : int;
 }
 
 let default_config =
-  { workers = 2; queue = 64; cache_capacity = 256; default_fuel = Some 5_000_000 }
+  {
+    workers = 2;
+    queue = 64;
+    cache_capacity = 256;
+    default_fuel = Some 5_000_000;
+    max_conns = 64;
+    backlog = 128;
+    idle_timeout_s = 30.0;
+    drain_grace_s = 0.5;
+    max_line_bytes = 1 lsl 20;
+  }
+
+(* Always-on per-request-kind latency histogram: log2 buckets over
+   microseconds, same bucketing convention as Crs_obs.Metrics (bucket 0
+   holds <= 0, bucket k >= 1 holds 2^(k-1) <= v < 2^k) but readable
+   without enabling the metrics subsystem — the crs-serve/1 stats
+   response must carry latency whether or not an operator turned
+   tracing on. Quantiles are bucket upper edges: coarse (a power of
+   two) but monotone, which is exactly what a p99 regression gate
+   needs. *)
+module Lat = struct
+  let buckets = 40 (* 2^39 us ~ 6.4 days: past any plausible request *)
+
+  type t = { counts : int Atomic.t array; max_us : int Atomic.t }
+
+  let create () =
+    {
+      counts = Array.init buckets (fun _ -> Atomic.make 0);
+      max_us = Atomic.make 0;
+    }
+
+  let bucket_of us =
+    if us <= 0 then 0
+    else
+      let rec bits k v = if v = 0 then k else bits (k + 1) (v lsr 1) in
+      min (buckets - 1) (bits 0 us)
+
+  let observe t us =
+    Atomic.incr t.counts.(bucket_of us);
+    let rec raise_max () =
+      let m = Atomic.get t.max_us in
+      if us > m && not (Atomic.compare_and_set t.max_us m us) then raise_max ()
+    in
+    raise_max ()
+
+  let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+  let max_us t = Atomic.get t.max_us
+
+  (* Upper edge of the bucket holding the q-quantile observation
+     (nearest rank), 0 on an empty histogram. *)
+  let quantile_upper_us t q =
+    let total = count t in
+    if total = 0 then 0
+    else begin
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+      let edge = ref 0 and seen = ref 0 and k = ref 0 in
+      while !seen < rank && !k < buckets do
+        let c = Atomic.get t.counts.(!k) in
+        if c > 0 then begin
+          seen := !seen + c;
+          edge := (if !k = 0 then 0 else 1 lsl !k)
+        end;
+        incr k
+      done;
+      !edge
+    end
+end
+
+(* Request kinds the latency histograms are keyed by: solve and
+   campaign are the work kinds, stats is its own (operators watch it),
+   and hello/shutdown/malformed lines fold into "control". *)
+let lat_kinds = [| "solve"; "campaign"; "stats"; "control" |]
+
+let lat_index = function
+  | "solve" -> 0
+  | "campaign" -> 1
+  | "stats" -> 2
+  | _ -> 3
 
 (* Response status, tracked alongside the payload so stats counters and
    span attributes don't have to re-parse the JSON they just built. *)
@@ -33,17 +115,36 @@ type counters = {
   not_applicable : int Atomic.t;
 }
 
+(* Connection lifecycle counters: accepted = reader spawned, refused =
+   turned away at the max-conns limit, evicted = closed by the server
+   (idle deadline or an oversized frame), drained = closed during
+   graceful drain. *)
+type conn_counters = {
+  live : int Atomic.t;
+  accepted : int Atomic.t;
+  refused : int Atomic.t;
+  evicted : int Atomic.t;
+  drained : int Atomic.t;
+}
+
 type t = {
   config : config;
   admission : Admission.t;
   cache : (status * (string * string) list) Canon.Cache.t;
   stop : bool Atomic.t;
   c : counters;
+  conns : conn_counters;
+  lat : Lat.t array; (* indexed by lat_index, always on *)
   m_requests : Metrics.counter;
   m_cache_hits : Metrics.counter;
   m_cache_misses : Metrics.counter;
   m_overloaded : Metrics.counter;
   m_timeouts : Metrics.counter;
+  m_conn_accepted : Metrics.counter;
+  m_conn_refused : Metrics.counter;
+  m_conn_evicted : Metrics.counter;
+  m_conn_drained : Metrics.counter;
+  m_lat : Metrics.histogram array; (* mirrors lat when metrics are on *)
 }
 
 let create config =
@@ -61,11 +162,28 @@ let create config =
         overloaded = Atomic.make 0;
         not_applicable = Atomic.make 0;
       };
+    conns =
+      {
+        live = Atomic.make 0;
+        accepted = Atomic.make 0;
+        refused = Atomic.make 0;
+        evicted = Atomic.make 0;
+        drained = Atomic.make 0;
+      };
+    lat = Array.init (Array.length lat_kinds) (fun _ -> Lat.create ());
     m_requests = Metrics.counter "serve.requests";
     m_cache_hits = Metrics.counter "serve.cache_hits";
     m_cache_misses = Metrics.counter "serve.cache_misses";
     m_overloaded = Metrics.counter "serve.overloaded";
     m_timeouts = Metrics.counter "serve.timeouts";
+    m_conn_accepted = Metrics.counter "serve.conn.accepted";
+    m_conn_refused = Metrics.counter "serve.conn.refused";
+    m_conn_evicted = Metrics.counter "serve.conn.evicted";
+    m_conn_drained = Metrics.counter "serve.conn.drained";
+    m_lat =
+      Array.map
+        (fun kind -> Metrics.histogram ("serve.latency." ^ kind))
+        lat_kinds;
   }
 
 let stopping t = Atomic.get t.stop
@@ -84,6 +202,15 @@ let count t status =
     Atomic.incr t.c.overloaded;
     Metrics.incr t.m_overloaded
   | Not_applicable_ -> Atomic.incr t.c.not_applicable
+
+let lat_json h =
+  J.obj
+    [
+      ("count", J.int (Lat.count h));
+      ("p50_us", J.int (Lat.quantile_upper_us h 0.50));
+      ("p99_us", J.int (Lat.quantile_upper_us h 0.99));
+      ("max_us", J.int (Lat.max_us h));
+    ]
 
 let stats_payload t =
   [
@@ -105,6 +232,26 @@ let stats_payload t =
         ] );
     ("workers", J.int (Admission.workers t.admission));
     ("queue", J.int (Admission.queue_capacity t.admission));
+    (* Per-request-kind server-side latency (parse to response
+       assembly, queue wait included), log2-bucketed: the numbers the
+       bench's per-kind p99 regression gates read. Additive in
+       crs-serve/1. *)
+    ( "latency",
+      J.obj
+        (Array.to_list
+           (Array.mapi (fun i kind -> (kind, lat_json t.lat.(i))) lat_kinds)) );
+    (* Connection lifecycle (additive): how many peers the concurrent
+       frontend let in, turned away, or forcibly closed. *)
+    ( "connections",
+      J.obj
+        [
+          ("live", J.int (Atomic.get t.conns.live));
+          ("max", J.int t.config.max_conns);
+          ("accepted", J.int (Atomic.get t.conns.accepted));
+          ("refused", J.int (Atomic.get t.conns.refused));
+          ("evicted", J.int (Atomic.get t.conns.evicted));
+          ("drained", J.int (Atomic.get t.conns.drained));
+        ] );
     (* Executor saturation (additive in crs-serve/1): live backlog,
        per-worker deque depths, and lifetime push/steal/park counts —
        what an operator watches to see whether load shedding is about
@@ -224,6 +371,11 @@ let shed_work (item, _req) =
   (Overloaded_, Protocol.overloaded ())
 
 let process_batch t lines =
+  (* One receive timestamp for the whole batch: a request's latency is
+     receive-to-response-assembly, so queue wait behind its batchmates
+     (and behind other connections' work) is charged to it — the number
+     a client would experience, not just solver time. *)
+  let t0 = Trace.monotonic_ns () in
   let lines =
     List.filter (fun l -> String.trim l <> "") lines
   in
@@ -267,7 +419,14 @@ let process_batch t lines =
         (status, Protocol.kind_of_request req, payload)
     in
     count t status;
-    Protocol.respond ~id:p.id ~req:req_kind payload
+    let response = Protocol.respond ~id:p.id ~req:req_kind payload in
+    let dt_us =
+      Int64.to_int (Int64.div (Int64.sub (Trace.monotonic_ns ()) t0) 1000L)
+    in
+    let ki = lat_index req_kind in
+    Lat.observe t.lat.(ki) dt_us;
+    Metrics.observe t.m_lat.(ki) dt_us;
+    response
   in
   List.map answer parsed
 
@@ -287,7 +446,32 @@ let write_all fd s =
   in
   go 0
 
-let serve_io t ~input ~output =
+(* How one stream session ended — the reader maps these onto the
+   connection lifecycle counters. *)
+type session_end =
+  | Session_eof  (* peer closed; all its frames were answered *)
+  | Session_evicted  (* idle past the read deadline *)
+  | Session_poisoned  (* oversized frame; answered, then cut loose *)
+  | Session_drained  (* graceful drain quiesced the connection *)
+
+let now_s () = Int64.to_float (Trace.monotonic_ns ()) /. 1e9
+
+(* The per-connection session loop shared by the stdio path and the
+   concurrent frontend's readers. Reads chunks, batches complete
+   lines, writes responses in request order. [deadline] > 0 evicts a
+   connection that sits mid-frame — a line was started but no byte has
+   arrived for that long (slow-loris defence; a quiet connection with
+   no partial frame is just idle and stays);
+   [drain_grace] is how long after a server-wide stop the session keeps
+   answering late requests with structured [draining] refusals before
+   closing (0 closes as soon as the stop is observed, the single-stream
+   stdio behavior).
+
+   Isolation: everything that can go wrong here — malformed frames,
+   oversized frames, mid-line EOF, the deadline — is answered on (and
+   at worst closes) THIS session; the server and its sibling sessions
+   keep serving. *)
+let session t ~input ~output ~deadline ~drain_grace =
   let pending = Buffer.create 4096 in
   let chunk = Bytes.create 65536 in
   let rec split_lines acc =
@@ -300,31 +484,97 @@ let serve_io t ~input ~output =
       Buffer.add_substring pending s (nl + 1) (String.length s - nl - 1);
       split_lines (line :: acc)
   in
+  let send_connection_event payload =
+    try write_all output (Protocol.respond ~id:None ~req:"connection" payload ^ "\n")
+    with Unix.Unix_error _ -> ()
+  in
   let respond_batch lines =
     match process_batch t lines with
     | [] -> ()
-    | responses ->
-      write_all output (String.concat "\n" responses ^ "\n")
+    | responses -> write_all output (String.concat "\n" responses ^ "\n")
   in
+  (* Late requests during graceful drain: parse only far enough to echo
+     the id and kind back with a [draining] refusal. In-flight work was
+     already answered by the respond_batch that carried the shutdown. *)
+  let refuse_batch lines =
+    let refusal line =
+      let p = Protocol.parse line in
+      let req =
+        match p.Protocol.body with
+        | Ok r -> Protocol.kind_of_request r
+        | Error _ -> "unknown"
+      in
+      Protocol.respond ~id:p.Protocol.id ~req (Protocol.draining ())
+    in
+    match List.filter (fun l -> String.trim l <> "") lines with
+    | [] -> ()
+    | lines -> write_all output (String.concat "\n" (List.map refusal lines) ^ "\n")
+  in
+  let handle_lines lines =
+    if stopping t then refuse_batch lines else respond_batch lines
+  in
+  let max_line = t.config.max_line_bytes in
+  let last_activity = ref (now_s ()) in
+  let stop_seen = ref None in
   let rec loop () =
-    if not (stopping t) then
-      match Unix.read input chunk 0 (Bytes.length chunk) with
-      | 0 ->
-        (* EOF: a final unterminated line is still a request. *)
-        if Buffer.length pending > 0 then begin
-          let last = Buffer.contents pending in
-          Buffer.clear pending;
-          respond_batch [ last ]
+    (match (stopping t, !stop_seen) with
+    | true, None -> stop_seen := Some (now_s ())
+    | _ -> ());
+    match !stop_seen with
+    | Some since when now_s () -. since >= drain_grace -> Session_drained
+    | _ -> (
+      (* Short select slices so the loop notices a server-wide stop and
+         the idle deadline promptly even on a silent connection. *)
+      match Unix.select [ input ] [] [] 0.05 with
+      | [], _, _ ->
+        if
+          !stop_seen = None && deadline > 0.0
+          && Buffer.length pending > 0
+          && now_s () -. !last_activity > deadline
+        then begin
+          send_connection_event (Protocol.evicted ~idle_s:deadline);
+          Session_evicted
         end
-      | n ->
-        Buffer.add_subbytes pending chunk 0 n;
-        (match split_lines [] with
-        | [] -> ()
-        | lines -> respond_batch lines);
-        loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        else loop ()
+      | _ -> (
+        match Unix.read input chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          (* EOF: a final unterminated line is still a request. *)
+          if Buffer.length pending > 0 then begin
+            let last = Buffer.contents pending in
+            Buffer.clear pending;
+            handle_lines [ last ]
+          end;
+          Session_eof
+        | n -> (
+          last_activity := now_s ();
+          Buffer.add_subbytes pending chunk 0 n;
+          let lines = split_lines [] in
+          if
+            List.exists (fun l -> String.length l > max_line) lines
+            || Buffer.length pending > max_line
+          then begin
+            (* Oversized frame: answer structurally, then poison only
+               this connection — its buffered bytes are untrustworthy
+               garbage and replying to the rest would desynchronize. *)
+            send_connection_event (Protocol.oversized ~limit:max_line);
+            Session_poisoned
+          end
+          else begin
+            (match lines with [] -> () | lines -> handle_lines lines);
+            loop ()
+          end)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
   in
   loop ()
+
+let serve_io t ~input ~output =
+  (* Single-stream mode (stdio, tests): no idle eviction — an
+     interactive pipeline may think arbitrarily long — and no drain
+     grace, so a shutdown request ends the session as soon as its
+     response is written. *)
+  ignore (session t ~input ~output ~deadline:0.0 ~drain_grace:0.0)
 
 (* ---- sockets ---- *)
 
@@ -360,7 +610,7 @@ let parse_address s =
         | _ -> fail ()))
     | _ -> fail ())
 
-let bind_address addr =
+let bind_address ?(backlog = default_config.backlog) addr =
   let describe e =
     Printf.sprintf "cannot bind %s: %s" (address_to_string addr)
       (Unix.error_message e)
@@ -373,7 +623,7 @@ let bind_address addr =
        bind failure, not be clobbered. *)
     match
       Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 16
+      Unix.listen fd backlog
     with
     | () -> Ok fd
     | exception Unix.Unix_error (e, _, _) ->
@@ -393,26 +643,87 @@ let bind_address addr =
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       match
         Unix.bind fd (Unix.ADDR_INET (inet, port));
-        Unix.listen fd 16
+        Unix.listen fd backlog
       with
       | () -> Ok fd
       | exception Unix.Unix_error (e, _, _) ->
         Unix.close fd;
         Error (describe e)))
 
+(* ---- the concurrent frontend ---- *)
+
+(* Reader threads are systhreads, not domains: a connection reader is
+   IO-bound (select / read / batch-await all release the runtime lock),
+   so hundreds of them can share the acceptor's domain while the actual
+   solving runs on the executor's worker domains. *)
+
+let refuse_connection t fd =
+  Atomic.incr t.conns.refused;
+  Metrics.incr t.m_conn_refused;
+  (try
+     write_all fd
+       (Protocol.respond ~id:None ~req:"connection" (Protocol.overloaded ())
+       ^ "\n")
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let attach t fd =
+  (* fetch_and_add then check: two racing attaches cannot both slip
+     under the limit. *)
+  if Atomic.fetch_and_add t.conns.live 1 >= t.config.max_conns then begin
+    Atomic.decr t.conns.live;
+    refuse_connection t fd;
+    None
+  end
+  else begin
+    Atomic.incr t.conns.accepted;
+    Metrics.incr t.m_conn_accepted;
+    Some
+      (Thread.create
+         (fun () ->
+           Fun.protect
+             ~finally:(fun () ->
+               Atomic.decr t.conns.live;
+               try Unix.close fd with Unix.Unix_error _ -> ())
+             (fun () ->
+               match
+                 session t ~input:fd ~output:fd
+                   ~deadline:t.config.idle_timeout_s
+                   ~drain_grace:t.config.drain_grace_s
+               with
+               | Session_eof -> ()
+               | Session_evicted | Session_poisoned ->
+                 Atomic.incr t.conns.evicted;
+                 Metrics.incr t.m_conn_evicted
+               | Session_drained ->
+                 Atomic.incr t.conns.drained;
+                 Metrics.incr t.m_conn_drained
+               | exception
+                   Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+                 ->
+                 (* The peer vanished mid-write; its reader dies alone. *)
+                 ()))
+         ())
+  end
+
 let serve t fd =
+  let readers = ref [] in
   while not (stopping t) do
-    match Unix.select [ fd ] [] [] 0.1 with
+    match Unix.select [ fd ] [] [] 0.05 with
     | [], _, _ -> ()
     | _ -> (
-      let conn, _ = Unix.accept fd in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
-        (fun () ->
-          try serve_io t ~input:conn ~output:conn
-          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()))
+      match Unix.accept fd with
+      | conn, _ -> (
+        match attach t conn with
+        | Some reader -> readers := reader :: !readers
+        | None -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+  done;
+  (* Graceful drain: stop accepting, then wait for every live reader —
+     each finishes its in-flight batch, refuses latecomers for the
+     drain-grace window, and closes its connection. *)
+  List.iter Thread.join !readers
 
 let close_address addr fd =
   (try Unix.close fd with Unix.Unix_error _ -> ());

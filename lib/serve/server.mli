@@ -1,31 +1,73 @@
 (** The serve daemon: batched request processing over byte streams and
-    sockets.
+    sockets, with a concurrent-connection frontend.
 
     One server value owns the worker pool ({!Admission}), the
-    canonicalizing memo cache ({!Canon.Cache}) and the running stats
-    counters. Requests arrive as lines; every chunk of complete lines
-    read from the stream is processed as one {i batch}: work requests
-    (solve, campaign) go through admission — the first [queue] of a
-    batch run on the pool, the rest are answered [overloaded] — and
-    control requests (hello, stats, shutdown, malformed lines) are
-    answered inline after the batch's work settles, so a [stats] request
-    observes the solves that travelled with it. Responses always come
-    back in request order.
+    canonicalizing memo cache ({!Canon.Cache}), the running stats
+    counters and the per-request-kind latency histograms. Requests
+    arrive as lines; every chunk of complete lines read from a stream
+    is processed as one {i batch}: work requests (solve, campaign) go
+    through admission — shared across all live connections, the
+    executor's live backlog charges the budget, excess is answered
+    [overloaded] — and control requests (hello, stats, shutdown,
+    malformed lines) are answered inline after the batch's work
+    settles, so a [stats] request observes the solves that travelled
+    with it. Responses on one connection always come back in that
+    connection's request order.
 
-    Connections are served one at a time; parallelism lives inside a
-    batch (pipelined requests on one connection), which keeps responses
-    ordered without a per-connection demultiplexer. *)
+    {2 Concurrency model}
+
+    An acceptor thread ({!serve}) accepts connections and spawns one
+    {i reader} per connection (a systhread — readers are IO-bound; the
+    solving itself runs on the executor's worker domains), bounded by
+    [max_conns]: connections beyond the bound are answered with one
+    structured [overloaded] response and closed ({i refused}).
+    Connections interleave freely — each reader waits only on its own
+    batches via {!Crs_exec.Exec.Batch} handles — while per-connection
+    response order is preserved because each reader processes its own
+    batches sequentially.
+
+    {2 Edge robustness}
+
+    A connection that goes wrong dies alone; siblings keep serving:
+    - {i slow-loris}: a frame was started but not finished within
+      [idle_timeout_s] — structured [evicted] response, connection
+      closed (a quiet connection with no partial frame is just idle
+      and is never evicted);
+    - {i oversized frame}: a line longer than [max_line_bytes] —
+      structured error naming the limit, connection closed;
+    - {i malformed frames / mid-line EOF}: answered with structured
+      errors in-stream (a final unterminated line at EOF is still a
+      request); the connection lives on (EOF ends it normally).
+
+    {2 Graceful drain}
+
+    A [shutdown] request stops the acceptor and begins the drain:
+    in-flight batches finish and their responses are written; for
+    [drain_grace_s] each reader answers late requests with structured
+    [draining] refusals; then every connection is closed and {!serve}
+    returns only after all readers have quiesced. *)
 
 type config = {
   workers : int;  (** pool domains for batch work *)
-  queue : int;  (** admission bound per batch *)
+  queue : int;  (** admission bound, shared across connections *)
   cache_capacity : int;  (** memo-cache entries; 0 disables *)
   default_fuel : int option;
       (** deadline for requests that don't set ["fuel"]; [None] = none *)
+  max_conns : int;  (** concurrent-connection bound; beyond = refused *)
+  backlog : int;  (** listen(2) backlog for {!bind_address} *)
+  idle_timeout_s : float;
+      (** per-connection mid-frame read deadline (slow-loris
+          eviction); 0 = none *)
+  drain_grace_s : float;
+      (** how long readers refuse late requests during graceful drain *)
+  max_line_bytes : int;
+      (** frame bound; longer lines poison (close) their connection *)
 }
 
 val default_config : config
-(** workers 2, queue 64, cache 256, default fuel [Some 5_000_000]. *)
+(** workers 2, queue 64, cache 256, default fuel [Some 5_000_000],
+    max_conns 64, backlog 128, idle timeout 30 s, drain grace 0.5 s,
+    max line 1 MiB. *)
 
 type t
 
@@ -35,7 +77,8 @@ val create : config -> t
 
 val process_batch : t -> string list -> string list
 (** Answer one batch of request lines, in order. Blank lines get no
-    response (and occupy no admission slot). *)
+    response (and occupy no admission slot). Thread-safe: concurrent
+    readers call this on the shared server. *)
 
 val handle_line : t -> string -> string
 (** Single-request batch. *)
@@ -45,7 +88,11 @@ val stopping : t -> bool
 
 val stats_payload : t -> (string * string) list
 (** The [stats] response payload (also reachable in-process, e.g. for
-    benches that want cache numbers without a socket round-trip). *)
+    benches that want cache numbers or per-kind latency quantiles
+    without a socket round-trip). Includes the [latency] object (log2
+    histogram summary per request kind: count, p50/p99 bucket upper
+    edges and max, in microseconds) and the [connections] lifecycle
+    counters (live/accepted/refused/evicted/drained). *)
 
 val drain : t -> unit
 (** Join the worker pool (idempotent). Call after the serve loop. *)
@@ -53,10 +100,20 @@ val drain : t -> unit
 (** {2 Streams and sockets} *)
 
 val serve_io : t -> input:Unix.file_descr -> output:Unix.file_descr -> unit
-(** Serve until EOF on [input] or a [shutdown] request: read chunks,
-    batch complete lines, write responses. Partial trailing lines are
-    buffered across reads; a final unterminated line at EOF is processed
-    as its own batch. *)
+(** Serve a single session until EOF on [input] or a [shutdown]
+    request: read chunks, batch complete lines, write responses.
+    Partial trailing lines are buffered across reads; a final
+    unterminated line at EOF is processed as its own batch. No idle
+    eviction and no drain grace — this is the stdio/pipeline mode. *)
+
+val attach : t -> Unix.file_descr -> Thread.t option
+(** Register a connected stream fd as a live connection: spawns and
+    returns its reader thread (the caller joins it, as {!serve} does
+    for accepted connections), or — when the [max_conns] limit is
+    reached — writes one structured [overloaded] response, closes the
+    fd, counts the refusal and returns [None]. The reader closes the
+    fd when the session ends. Exposed so tests and benches can drive
+    the concurrent frontend over socketpairs without a listener. *)
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -66,15 +123,18 @@ val parse_address : string -> (address, string) result
 (** [unix:PATH] or [tcp:HOST:PORT]. The error names the offending
     value. *)
 
-val bind_address : address -> (Unix.file_descr, string) result
-(** Bind and listen. A Unix socket path that already exists is a bind
-    error (the server never unlinks a path it did not create) — the
-    error names the address and the system cause. *)
+val bind_address :
+  ?backlog:int -> address -> (Unix.file_descr, string) result
+(** Bind and listen with the given backlog (default
+    [default_config.backlog]). A Unix socket path that already exists
+    is a bind error (the server never unlinks a path it did not
+    create) — the error names the address and the system cause. *)
 
 val serve : t -> Unix.file_descr -> unit
-(** Accept loop on a listening socket: serve each connection with
-    {!serve_io} until a [shutdown] request arrives (checked between
-    accepts and after each connection). *)
+(** Concurrent accept loop on a listening socket: one reader thread
+    per accepted connection (via {!attach}), until a [shutdown]
+    request arrives; then joins every reader (graceful drain) before
+    returning. *)
 
 val close_address : address -> Unix.file_descr -> unit
 (** Close the listening socket and remove a Unix socket path. *)

@@ -195,6 +195,20 @@ let test_serve_exit_codes () =
       Alcotest.(check bool) "names the occupied path" true (has sock out);
       Alcotest.(check bool) "socket path not clobbered" true (Sys.file_exists sock))
 
+(* The concurrent-frontend flags are validated before any socket work:
+   bad values exit 1 with a message naming every parameter. *)
+let test_serve_param_validation () =
+  let code, out = run_capture "serve --backlog 0 --stdio" in
+  Alcotest.(check int) "backlog 0 exits 1" 1 code;
+  Alcotest.(check bool) "message names backlog" true (has "backlog 0" out);
+  let code, out = run_capture "serve --max-conns 0 --stdio" in
+  Alcotest.(check int) "max-conns 0 exits 1" 1 code;
+  Alcotest.(check bool) "message names max-conns" true (has "max-conns 0" out);
+  let code, out = run_capture "serve --idle-timeout=-1 --stdio" in
+  Alcotest.(check int) "negative idle-timeout exits 1" 1 code;
+  Alcotest.(check bool) "message names idle-timeout" true
+    (has "idle-timeout -1" out)
+
 let test_serve_stdio () =
   let reqs = Filename.temp_file "serve" ".jsonl" in
   Out_channel.with_open_text reqs (fun oc ->
@@ -230,5 +244,7 @@ let suite =
     Alcotest.test_case "bad inputs fail cleanly" `Quick test_bad_inputs;
     Alcotest.test_case "simulate" `Quick test_simulate;
     Alcotest.test_case "serve: startup exit codes" `Quick test_serve_exit_codes;
+    Alcotest.test_case "serve: parameter validation" `Quick
+      test_serve_param_validation;
     Alcotest.test_case "serve --stdio session" `Quick test_serve_stdio;
   ]

@@ -160,6 +160,40 @@ let test_exec_shutdown_rejects_submit () =
        false
      with Invalid_argument _ -> true)
 
+(* Batch handles let several threads multiplex one executor (the
+   concurrent serve frontend's shape): each batch waits only on its own
+   tasks and sees only its own first failure; the executor-wide failure
+   slot that await_all reads stays clean. *)
+let test_exec_batch_isolation () =
+  Exec.with_exec ~domains:2 (fun t ->
+      let counter = Atomic.make 0 in
+      let run_batch fail =
+        let b = Exec.Batch.create t in
+        for i = 1 to 25 do
+          Exec.Batch.submit b (fun () ->
+              if fail && i = 9 then failwith "batch1" else Atomic.incr counter)
+        done;
+        Exec.Batch.await b
+      in
+      let r1 = ref None and r2 = ref None in
+      let th1 = Thread.create (fun () -> r1 := run_batch true) () in
+      let th2 = Thread.create (fun () -> r2 := run_batch false) () in
+      Thread.join th1;
+      Thread.join th2;
+      (match !r1 with
+      | Some (Failure msg) ->
+        Alcotest.(check string) "batch 1 sees its own failure" "batch1" msg
+      | _ -> Alcotest.fail "batch 1 failure not surfaced");
+      Alcotest.(check bool) "batch 2 unaffected by batch 1's failure" true
+        (!r2 = None);
+      Alcotest.(check int) "all non-failing tasks ran" 49 (Atomic.get counter);
+      (* Batch failures never leak into the executor-wide slot, and the
+         executor remains usable for plain submit/await_all rounds. *)
+      Exec.submit t (fun () -> Atomic.incr counter);
+      Alcotest.(check bool) "await_all stays clean" true
+        (Exec.await_all t = None);
+      Alcotest.(check int) "post-batch task ran" 50 (Atomic.get counter))
+
 let test_exec_stats () =
   Exec.with_exec ~domains:2 (fun t ->
       let s0 = Exec.stats t in
@@ -218,6 +252,8 @@ let suite =
       test_exec_nested_submission;
     Alcotest.test_case "exec: shutdown rejects submit" `Quick
       test_exec_shutdown_rejects_submit;
+    Alcotest.test_case "exec: concurrent batches isolate failures" `Quick
+      test_exec_batch_isolation;
     Alcotest.test_case "exec: saturation stats" `Quick test_exec_stats;
     Alcotest.test_case "exec: crs_obs counters + histogram" `Quick
       test_exec_obs_counters;

@@ -154,7 +154,13 @@ let with_server config f =
   Fun.protect ~finally:(fun () -> Server.drain server) (fun () -> f server)
 
 let small_config =
-  { Server.workers = 1; queue = 8; cache_capacity = 16; default_fuel = None }
+  {
+    Server.default_config with
+    Server.workers = 1;
+    queue = 8;
+    cache_capacity = 16;
+    default_fuel = None;
+  }
 
 let solve_line ?(extra = []) instance =
   J.obj
@@ -195,7 +201,7 @@ let test_server_byte_identical_responses () =
 
 let test_server_overload_sheds_batch_tail () =
   with_server
-    { Server.workers = 1; queue = 2; cache_capacity = 0; default_fuel = None }
+    { small_config with Server.queue = 2; cache_capacity = 0 }
     (fun server ->
       let lines =
         List.init 5 (fun i -> solve_line (random_instance (10 + i)))
@@ -304,7 +310,7 @@ let test_server_cache_hits () =
    saturation. Everything that existed before must still be there. *)
 let test_server_stats_exec_fields () =
   with_server
-    { Server.workers = 2; queue = 8; cache_capacity = 16; default_fuel = None }
+    { small_config with Server.workers = 2 }
     (fun server ->
       ignore (Server.handle_line server (solve_line (random_instance 3)));
       ignore (Server.handle_line server (solve_line (random_instance 4)));
@@ -347,10 +353,7 @@ let test_server_stats_exec_fields () =
 
 let test_daemon_socketpair_smoke () =
   let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let server =
-    Server.create
-      { Server.workers = 2; queue = 8; cache_capacity = 16; default_fuel = None }
-  in
+  let server = Server.create { small_config with Server.workers = 2 } in
   let daemon =
     Domain.spawn (fun () ->
         Server.serve_io server ~input:server_fd ~output:server_fd;
@@ -430,6 +433,402 @@ let test_daemon_socketpair_smoke () =
   Unix.close client_fd;
   Unix.close server_fd
 
+(* ---- the concurrent frontend (socketpair connections) ---- *)
+
+(* Tests drive the concurrent frontend through Server.attach: one
+   socketpair per connection, the server end registered exactly as the
+   accept loop would, the client end wrapped in a Loadgen.Client. *)
+
+(* Queue sized so the concurrent batteries never trip admission —
+   overload shedding has its own dedicated test above. *)
+let conn_config =
+  {
+    Server.default_config with
+    Server.workers = 2;
+    queue = 64;
+    cache_capacity = 32;
+    default_fuel = None;
+    idle_timeout_s = 0.0;
+    drain_grace_s = 0.4;
+  }
+
+type conn = {
+  client : Loadgen.Client.t;
+  client_fd : Unix.file_descr;
+  reader : Thread.t option;
+}
+
+let open_conn server =
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Server.attach server server_fd in
+  { client = Loadgen.Client.of_fd client_fd; client_fd; reader }
+
+let close_conn c =
+  (try Unix.close c.client_fd with Unix.Unix_error _ -> ());
+  match c.reader with Some th -> Thread.join th | None -> ()
+
+let raw_send fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let stats_field server path =
+  match J.parse (J.obj (Server.stats_payload server)) with
+  | Error msg -> Alcotest.failf "stats payload unparseable: %s" msg
+  | Ok json -> (
+    let rec walk json = function
+      | [] -> Some json
+      | k :: rest -> Option.bind (J.member k json) (fun j -> walk j rest)
+    in
+    match walk json path with
+    | Some (J.Int v) -> v
+    | _ -> Alcotest.failf "stats lack %s" (String.concat "." path))
+
+(* Tentpole: N concurrent connections issuing interleaved solve/stats
+   pipelines. Per-connection response order must hold (ids echo back in
+   request order), every solve response must be byte-identical to the
+   single-connection golden, and cache accounting must sum exactly
+   across connections (deterministic because the cache is prewarmed, so
+   every concurrent solve is a hit). *)
+let test_concurrent_connections_deterministic () =
+  with_server conn_config (fun server ->
+      let golden_server = Server.create conn_config in
+      Fun.protect
+        ~finally:(fun () -> Server.drain golden_server)
+        (fun () ->
+          let instances = Array.init 3 (fun i -> random_instance (40 + i)) in
+          (* Prewarm: one miss per distinct instance, counted below. *)
+          Array.iter
+            (fun i -> ignore (Server.handle_line server (solve_line i)))
+            instances;
+          let conns = 4 and per = 9 in
+          let request c j =
+            if j mod 3 = 2 then
+              J.obj
+                [
+                  ("proto", J.str Protocol.version);
+                  ("id", J.int ((100 * c) + j));
+                  ("kind", J.str "stats");
+                ]
+            else
+              solve_line
+                ~extra:[ ("id", J.int ((100 * c) + j)) ]
+                instances.(j mod 3)
+          in
+          let connections = Array.init conns (fun _ -> open_conn server) in
+          Array.iter
+            (fun c ->
+              Alcotest.(check bool) "connection admitted" true (c.reader <> None))
+            connections;
+          let responses = Array.make_matrix conns per "" in
+          let clients =
+            Array.mapi
+              (fun c conn ->
+                Thread.create
+                  (fun () ->
+                    (* One pipelined write, then read everything back:
+                       maximal interleaving across connections. *)
+                    let lines =
+                      String.concat "\n"
+                        (List.init per (fun j -> request c j))
+                      ^ "\n"
+                    in
+                    raw_send conn.client_fd lines;
+                    for j = 0 to per - 1 do
+                      match Loadgen.Client.recv_line conn.client with
+                      | Some r -> responses.(c).(j) <- r
+                      | None -> responses.(c).(j) <- "<eof>"
+                    done)
+                  ())
+              connections
+          in
+          Array.iter Thread.join clients;
+          for c = 0 to conns - 1 do
+            for j = 0 to per - 1 do
+              let r = responses.(c).(j) in
+              Alcotest.(check bool)
+                (Printf.sprintf "conn %d response %d in request order" c j)
+                true
+                (Helpers.contains
+                   ~needle:(Printf.sprintf {|"id":%d|} ((100 * c) + j))
+                   r);
+              if j mod 3 = 2 then
+                Alcotest.(check string)
+                  (Printf.sprintf "conn %d stats %d ok" c j)
+                  "ok" (response_status r)
+              else
+                (* Byte-identity against the single-connection golden:
+                   same request line, fresh single-connection server. *)
+                Alcotest.(check string)
+                  (Printf.sprintf "conn %d solve %d byte-identical" c j)
+                  (Server.handle_line golden_server (request c j))
+                  r
+            done
+          done;
+          let solves_per_conn = per - (per / 3) in
+          Alcotest.(check int) "misses = distinct instances (prewarm)" 3
+            (stats_field server [ "cache"; "misses" ]);
+          Alcotest.(check int) "hits = every concurrent solve"
+            (conns * solves_per_conn)
+            (stats_field server [ "cache"; "hits" ]);
+          Alcotest.(check int) "accepted counts the readers" conns
+            (stats_field server [ "connections"; "accepted" ]);
+          Array.iter close_conn connections;
+          Alcotest.(check int) "all readers closed" 0
+            (stats_field server [ "connections"; "live" ])))
+
+(* Satellite: per-kind latency histograms — counts must match the
+   request mix exactly, and the quantile edges must be ordered. *)
+let test_latency_histogram_per_kind () =
+  with_server conn_config (fun server ->
+      let hello =
+        J.obj [ ("proto", J.str Protocol.version); ("kind", J.str "hello") ]
+      in
+      let stats_line =
+        J.obj [ ("proto", J.str Protocol.version); ("kind", J.str "stats") ]
+      in
+      for i = 1 to 5 do
+        ignore (Server.handle_line server (solve_line (random_instance i)))
+      done;
+      ignore (Server.handle_line server hello);
+      ignore (Server.handle_line server hello);
+      ignore (Server.handle_line server stats_line);
+      Alcotest.(check int) "solve latency count" 5
+        (stats_field server [ "latency"; "solve"; "count" ]);
+      Alcotest.(check int) "stats latency count" 1
+        (stats_field server [ "latency"; "stats"; "count" ]);
+      Alcotest.(check int) "control latency count (hello x2)" 2
+        (stats_field server [ "latency"; "control"; "count" ]);
+      Alcotest.(check int) "campaign latency count" 0
+        (stats_field server [ "latency"; "campaign"; "count" ]);
+      let p50 = stats_field server [ "latency"; "solve"; "p50_us" ] in
+      let p99 = stats_field server [ "latency"; "solve"; "p99_us" ] in
+      let mx = stats_field server [ "latency"; "solve"; "max_us" ] in
+      Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+      Alcotest.(check bool)
+        (Printf.sprintf "p99 edge %d bounds max %d" p99 mx)
+        true
+        (mx <= p99 || p99 = 0))
+
+(* Satellite: adversarial-client battery. Each hostile connection dies
+   alone — with a structured answer — while a well-behaved sibling on
+   the same server keeps completing solves. *)
+let test_adversarial_slow_loris () =
+  with_server
+    { conn_config with Server.idle_timeout_s = 0.15 }
+    (fun server ->
+      let victim = open_conn server in
+      let sibling = open_conn server in
+      (* Half a frame, then silence. *)
+      raw_send victim.client_fd {|{"proto":"crs-serve|};
+      let r = Loadgen.Client.rpc sibling.client (solve_line (random_instance 7)) in
+      Alcotest.(check string) "sibling solves while loris hangs" "ok"
+        (response_status r);
+      (match Loadgen.Client.recv_line victim.client with
+      | Some r ->
+        Alcotest.(check string) "structured eviction" "evicted"
+          (response_status r);
+        Alcotest.(check bool) "names the deadline" true
+          (Helpers.contains ~needle:"deadline" r);
+        Alcotest.(check bool) "connection-level response" true
+          (Helpers.contains ~needle:{|"req":"connection"|} r)
+      | None -> Alcotest.fail "loris got no eviction response");
+      Alcotest.(check (option string)) "loris connection closed" None
+        (Loadgen.Client.recv_line victim.client);
+      let r = Loadgen.Client.rpc sibling.client (solve_line (random_instance 8)) in
+      Alcotest.(check string) "sibling survives the eviction" "ok"
+        (response_status r);
+      Alcotest.(check int) "evicted counted" 1
+        (stats_field server [ "connections"; "evicted" ]);
+      close_conn victim;
+      close_conn sibling)
+
+let test_adversarial_battery () =
+  with_server
+    { conn_config with Server.max_line_bytes = 256 }
+    (fun server ->
+      let sibling = open_conn server in
+      let solve_ok msg =
+        let r =
+          Loadgen.Client.rpc sibling.client (solve_line (random_instance 9))
+        in
+        Alcotest.(check string) msg "ok" (response_status r)
+      in
+      (* Mid-line EOF: the unterminated fragment is still answered (as a
+         parse error), then the connection ends cleanly. *)
+      let c = open_conn server in
+      raw_send c.client_fd {|{"proto":"crs-serve/1","kind":|};
+      Unix.shutdown c.client_fd Unix.SHUTDOWN_SEND;
+      (match Loadgen.Client.recv_line c.client with
+      | Some r ->
+        Alcotest.(check string) "mid-line EOF answered as error" "error"
+          (response_status r)
+      | None -> Alcotest.fail "mid-line EOF dropped the request");
+      Alcotest.(check (option string)) "then EOF" None
+        (Loadgen.Client.recv_line c.client);
+      solve_ok "sibling unharmed by mid-line EOF";
+      close_conn c;
+      (* Oversized frame: structured error naming the limit, then the
+         poisoned connection is closed — alone. *)
+      let c = open_conn server in
+      raw_send c.client_fd (String.make 300 'x' ^ "\n");
+      (match Loadgen.Client.recv_line c.client with
+      | Some r ->
+        Alcotest.(check string) "oversized answered as error" "error"
+          (response_status r);
+        Alcotest.(check bool) "names the limit" true
+          (Helpers.contains ~needle:"256" r)
+      | None -> Alcotest.fail "oversized frame dropped");
+      Alcotest.(check (option string)) "poisoned connection closed" None
+        (Loadgen.Client.recv_line c.client);
+      solve_ok "sibling unharmed by oversized frame";
+      (* Garbage frame: answered with the parser's offset error; the
+         same connection keeps serving. *)
+      let c = open_conn server in
+      raw_send c.client_fd "!!not json!!\n";
+      (match Loadgen.Client.recv_line c.client with
+      | Some r ->
+        Alcotest.(check string) "garbage answered as error" "error"
+          (response_status r);
+        Alcotest.(check bool) "carries a byte offset" true
+          (Helpers.contains ~needle:"offset" r)
+      | None -> Alcotest.fail "garbage frame dropped");
+      let r = Loadgen.Client.rpc c.client (solve_line (random_instance 10)) in
+      Alcotest.(check string) "garbage connection still serves" "ok"
+        (response_status r);
+      solve_ok "sibling unharmed by garbage";
+      close_conn c;
+      close_conn sibling)
+
+let test_connection_refusal_beyond_max_conns () =
+  with_server
+    { conn_config with Server.max_conns = 2 }
+    (fun server ->
+      let a = open_conn server in
+      let b = open_conn server in
+      let c = open_conn server in
+      Alcotest.(check bool) "first two admitted" true
+        (a.reader <> None && b.reader <> None);
+      Alcotest.(check bool) "third refused" true (c.reader = None);
+      (match Loadgen.Client.recv_line c.client with
+      | Some r ->
+        Alcotest.(check string) "structured overloaded refusal" "overloaded"
+          (response_status r);
+        Alcotest.(check bool) "connection-level response" true
+          (Helpers.contains ~needle:{|"req":"connection"|} r)
+      | None -> Alcotest.fail "refused connection got no response");
+      Alcotest.(check (option string)) "refused connection closed" None
+        (Loadgen.Client.recv_line c.client);
+      Alcotest.(check int) "refused counted" 1
+        (stats_field server [ "connections"; "refused" ]);
+      (* The admitted connections still serve. *)
+      let r = Loadgen.Client.rpc a.client (solve_line (random_instance 11)) in
+      Alcotest.(check string) "admitted conn solves" "ok" (response_status r);
+      close_conn a;
+      close_conn b;
+      close_conn c)
+
+(* Satellite: graceful drain under load — in-flight requests travelling
+   with the shutdown finish and are answered; a late request on a
+   sibling connection gets a structured draining refusal; then every
+   connection quiesces to EOF. *)
+let test_graceful_drain_under_load () =
+  with_server conn_config (fun server ->
+      let a = open_conn server in
+      let b = open_conn server in
+      let line kind id =
+        J.obj
+          [
+            ("proto", J.str Protocol.version);
+            ("id", J.int id);
+            ("kind", J.str kind);
+          ]
+      in
+      (* One pipelined write: two solves in flight plus the shutdown. *)
+      raw_send a.client_fd
+        (String.concat "\n"
+           [
+             solve_line ~extra:[ ("id", J.int 1) ] (random_instance 21);
+             solve_line ~extra:[ ("id", J.int 2) ] (random_instance 22);
+             line "shutdown" 3;
+           ]
+        ^ "\n");
+      let read_a () =
+        match Loadgen.Client.recv_line a.client with
+        | Some r -> r
+        | None -> Alcotest.fail "connection A closed early"
+      in
+      let r1 = read_a () and r2 = read_a () and r3 = read_a () in
+      Alcotest.(check string) "in-flight solve 1 finished" "ok"
+        (response_status r1);
+      Alcotest.(check string) "in-flight solve 2 finished" "ok"
+        (response_status r2);
+      Alcotest.(check string) "shutdown acknowledged" "ok" (response_status r3);
+      Alcotest.(check bool) "stopping" true (Server.stopping server);
+      (* Late request during the drain window: refused, structurally. *)
+      Loadgen.Client.send_line b.client
+        (solve_line ~extra:[ ("id", J.int 4) ] (random_instance 23));
+      (match Loadgen.Client.recv_line b.client with
+      | Some r ->
+        Alcotest.(check string) "late request refused" "draining"
+          (response_status r);
+        Alcotest.(check bool) "refusal echoes the id" true
+          (Helpers.contains ~needle:{|"id":4|} r)
+      | None -> Alcotest.fail "late request got no refusal");
+      (* Both connections quiesce to EOF once the grace window ends. *)
+      Alcotest.(check (option string)) "A drained to EOF" None
+        (Loadgen.Client.recv_line a.client);
+      Alcotest.(check (option string)) "B drained to EOF" None
+        (Loadgen.Client.recv_line b.client);
+      close_conn a;
+      close_conn b;
+      Alcotest.(check int) "both connections counted drained" 2
+        (stats_field server [ "connections"; "drained" ]))
+
+(* Satellite: loadgen multi-connection mode (deterministic smoke; the
+   full-scale version runs under `dune build @stress`). *)
+let test_loadgen_multi_conn () =
+  with_server conn_config (fun server ->
+      let conns = Array.init 2 (fun _ -> open_conn server) in
+      let clients = Array.map (fun c -> c.client) conns in
+      let requests =
+        List.init 12 (fun i -> solve_line (random_instance (60 + (i mod 4))))
+      in
+      let closed =
+        Loadgen.run_multi ~seed:7 clients ~arrival:Loadgen.Closed_loop ~requests
+      in
+      Alcotest.(check int) "closed-loop: all sent" 12 closed.Loadgen.sent;
+      Alcotest.(check int) "closed-loop: all received" 12
+        closed.Loadgen.received;
+      Alcotest.(check int) "every latency sample kept" 12
+        (Array.length closed.Loadgen.latencies_ms);
+      let open_loop =
+        Loadgen.run_multi ~seed:8 clients
+          ~arrival:(Loadgen.Poisson { rate = 500.0 })
+          ~requests:(List.init 8 (fun i -> solve_line (random_instance (70 + i))))
+      in
+      Alcotest.(check int) "open-loop: all received" 8
+        open_loop.Loadgen.received;
+      Alcotest.(check int) "solve latency histogram saw the load" 20
+        (stats_field server [ "latency"; "solve"; "count" ]);
+      Array.iter close_conn conns)
+
+(* Satellite: the listen backlog is a config field (surfaced as
+   --backlog) and actually reaches listen(2) at both bind sites. *)
+let test_backlog_config () =
+  Alcotest.(check int) "default backlog raised" 128
+    Server.default_config.Server.backlog;
+  let path = Filename.temp_file "crs" ".sock" in
+  Sys.remove path;
+  (match Server.bind_address ~backlog:5 (Server.Unix_sock path) with
+  | Ok fd -> Server.close_address (Server.Unix_sock path) fd
+  | Error msg -> Alcotest.failf "unix bind with backlog failed: %s" msg);
+  match Server.bind_address ~backlog:5 (Server.Tcp ("127.0.0.1", 0)) with
+  | Ok fd -> Server.close_address (Server.Tcp ("127.0.0.1", 0)) fd
+  | Error msg -> Alcotest.failf "tcp bind with backlog failed: %s" msg
+
 (* ---- address parsing ---- *)
 
 let test_parse_address () =
@@ -479,5 +878,21 @@ let suite =
       test_server_stats_exec_fields;
     Alcotest.test_case "daemon: socketpair smoke test" `Quick
       test_daemon_socketpair_smoke;
+    Alcotest.test_case "conns: concurrent interleave is deterministic" `Quick
+      test_concurrent_connections_deterministic;
+    Alcotest.test_case "conns: per-kind latency histograms" `Quick
+      test_latency_histogram_per_kind;
+    Alcotest.test_case "conns: slow-loris evicted, sibling unharmed" `Quick
+      test_adversarial_slow_loris;
+    Alcotest.test_case "conns: adversarial frames die alone" `Quick
+      test_adversarial_battery;
+    Alcotest.test_case "conns: refusal beyond max-conns" `Quick
+      test_connection_refusal_beyond_max_conns;
+    Alcotest.test_case "conns: graceful drain under load" `Quick
+      test_graceful_drain_under_load;
+    Alcotest.test_case "loadgen: multi-connection smoke" `Quick
+      test_loadgen_multi_conn;
+    Alcotest.test_case "config: backlog reaches listen(2)" `Quick
+      test_backlog_config;
     Alcotest.test_case "address: parse and reject" `Quick test_parse_address;
   ]
