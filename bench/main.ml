@@ -1042,6 +1042,240 @@ let exp_serve ?(mode = `Run) () =
     (fun (_, cfd) -> try Unix.close cfd with Unix.Unix_error _ -> ())
     conn_fds;
   S.drain server2;
+  (* ---- phase 3: the sharded tier ---- *)
+  (* The balancer in-process, the shards as real `crsched serve`
+     subprocesses — the full `crsched balance` data path minus only the
+     public listener. Cold tier: a corpus hit-rate window, closed-loop
+     throughput across connections, byte-identity against the phase-2
+     single-process goldens (the sharding guarantee), and — in full
+     runs — a kill -9 restart under load with exact accounting. The
+     drain snapshots every shard's warm state; a second tier on the
+     same state must replay it and beat the cold hit rate. *)
+  let module B = Crs_serve.Balancer in
+  let crsched_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "crsched.exe"))
+  in
+  let shards3 = match mode with `Run -> 3 | `Smoke -> 2 in
+  let corpus_passes = match mode with `Run -> 5 | `Smoke -> 2 in
+  let kill_reqs = match mode with `Run -> 200 | `Smoke -> 0 in
+  let fresh_dir name =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "crs-bench-%s-%d" name (Unix.getpid ()))
+    in
+    (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+  in
+  let rec rm_rf path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> (try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let socket_dir = fresh_dir "shards" in
+  let warm_dir = fresh_dir "warm" in
+  let shard_argv ~index ~socket =
+    [|
+      crsched_exe; "serve"; "--listen"; "unix:" ^ socket; "--workers"; "1";
+      "--queue"; "128"; "--cache"; "128"; "--warm-state"; warm_dir;
+      "--warm-id"; Printf.sprintf "shard-%d" index;
+    |]
+  in
+  let tier_cfg =
+    {
+      (B.default_config ~shards:shards3 ~socket_dir ~shard_argv) with
+      B.health_interval_s = 0.5;
+      restart_backoff_s = 0.05;
+      drain_grace_s = 0.2;
+    }
+  in
+  let with_tier f =
+    match B.create tier_cfg with
+    | Error msg -> failwith ("serve bench: " ^ msg)
+    | Ok t -> Fun.protect ~finally:(fun () -> B.drain t) (fun () -> f t)
+  in
+  let open_tier_conn t =
+    let bfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* Without close-on-exec, a respawned shard would inherit the client
+       end and the reader would never see EOF. *)
+    Unix.set_close_on_exec cfd;
+    match B.attach t bfd with
+    | Some reader -> (cfd, L.Client.of_fd cfd, reader)
+    | None -> failwith "serve bench: balancer refused a connection"
+  in
+  let close_tier_conn (cfd, _, reader) =
+    (try Unix.close cfd with Unix.Unix_error _ -> ());
+    Thread.join reader
+  in
+  let tier_stat t path =
+    match J.parse (J.obj (B.stats_payload t)) with
+    | Error msg -> failwith ("balancer stats unparseable: " ^ msg)
+    | Ok json -> (
+      let rec walk json = function
+        | [] -> Some json
+        | k :: rest -> (
+          match (json, int_of_string_opt k) with
+          | J.List items, Some i when i >= 0 && i < List.length items ->
+            walk (List.nth items i) rest
+          | _ -> Option.bind (J.member k json) (fun j -> walk j rest))
+      in
+      match walk json path with
+      | Some (J.Int v) -> v
+      | _ -> failwith ("balancer stats lack " ^ String.concat "." path))
+  in
+  (* Hit rate over a bounded request window (stat deltas), not lifetime
+     counters — warm replay itself counts as misses on the shard, which
+     is exactly the cost warming moves off the request path. *)
+  let hit_window t f =
+    let h0 = tier_stat t [ "cache"; "hits" ]
+    and m0 = tier_stat t [ "cache"; "misses" ] in
+    f ();
+    let dh = tier_stat t [ "cache"; "hits" ] - h0
+    and dm = tier_stat t [ "cache"; "misses" ] - m0 in
+    float_of_int dh /. Float.max 1.0 (float_of_int (dh + dm))
+  in
+  let corpus = List.init (corpus_passes * 8) (fun i -> i mod 8) in
+  let sharded_ident_failures = ref 0 in
+  let cold_hit_rate = ref 0.0 in
+  let sharded = ref None in
+  let restart_ok = ref (kill_reqs = 0) in
+  let restart_refused = ref 0 in
+  let restart_restarts = ref 0 in
+  let accounting_ok = ref false in
+  with_tier (fun t ->
+      let conns3 = Array.init conns (fun _ -> open_tier_conn t) in
+      Fun.protect
+        ~finally:(fun () -> Array.iter close_tier_conn conns3)
+        (fun () ->
+          let _, c0, _ = conns3.(0) in
+          cold_hit_rate :=
+            hit_window t (fun () ->
+                List.iter
+                  (fun k ->
+                    ignore (L.Client.rpc c0 (solve_line instances.(k))))
+                  corpus);
+          Array.iteri
+            (fun k i ->
+              let m = Instance.m i in
+              let permuted =
+                Instance.sub_processors i (List.init m (fun j -> m - 1 - j))
+              in
+              let padded = Crs_fuzz.Oracle.zero_pad_instance i in
+              List.iter
+                (fun v ->
+                  if
+                    not
+                      (String.equal golden.(k)
+                         (L.Client.rpc c0 (solve_line v)))
+                  then incr sharded_ident_failures)
+                [ i; permuted; padded ])
+            instances;
+          let clients3 = Array.map (fun (_, c, _) -> c) conns3 in
+          sharded :=
+            Some
+              (L.run_multi ~seed:7 clients3 ~arrival:L.Closed_loop
+                 ~requests:(workload multi_n));
+          if kill_reqs > 0 then begin
+            let statuses = Array.make kill_reqs "?" in
+            let driver =
+              Thread.create
+                (fun () ->
+                  for i = 0 to kill_reqs - 1 do
+                    let r = L.Client.rpc c0 (solve_line instances.(i mod 8)) in
+                    statuses.(i) <-
+                      (match J.parse r with
+                      | Ok j -> (
+                        match J.member "status" j with
+                        | Some (J.Str s) -> s
+                        | _ -> "?")
+                      | Error _ -> "?")
+                  done)
+                ()
+            in
+            Thread.delay 0.01;
+            let victim = (B.shard_pids t).(0) in
+            if victim > 0 then Unix.kill victim Sys.sigkill;
+            Thread.join driver;
+            (* The tier must answer ok again for a key routed to the
+               killed shard — proof the monitor brought it back. *)
+            let routed0 =
+              Array.to_list instances
+              |> List.find_opt (fun i ->
+                     B.route ~shards:shards3 (Crs_serve.Canon.key i) = 0)
+            in
+            let recovered =
+              match routed0 with
+              | None -> true
+              | Some i ->
+                let rec go n =
+                  n > 0
+                  &&
+                  match
+                    J.parse (L.Client.rpc c0 (solve_line i))
+                    |> Result.to_option
+                    |> Fun.flip Option.bind (J.member "status")
+                  with
+                  | Some (J.Str "ok") -> true
+                  | _ ->
+                    Thread.delay 0.01;
+                    go (n - 1)
+                in
+                go 400
+            in
+            let count s =
+              Array.fold_left
+                (fun acc x -> if String.equal x s then acc + 1 else acc)
+                0 statuses
+            in
+            restart_refused := count "overloaded";
+            restart_ok :=
+              recovered && count "ok" + !restart_refused = kill_reqs;
+            (* The kill wiped the victim's cache; one full corpus pass
+               repopulates it so the drain snapshot (and the warm gate)
+               covers all eight keys again. *)
+            Array.iter
+              (fun i -> ignore (L.Client.rpc c0 (solve_line i)))
+              instances
+          end;
+          accounting_ok :=
+            tier_stat t [ "balancer"; "accepted" ]
+            = tier_stat t [ "balancer"; "answered" ]
+              + tier_stat t [ "balancer"; "refused" ];
+          restart_restarts := tier_stat t [ "balancer"; "restarts" ]));
+  let warm_hit_rate = ref 0.0 in
+  let warm_replayed = ref 0 in
+  with_tier (fun t ->
+      for s = 0 to shards3 - 1 do
+        warm_replayed :=
+          !warm_replayed
+          + tier_stat t
+              [ "balancer"; "shard"; string_of_int s; "warm"; "replayed" ]
+      done;
+      let conn = open_tier_conn t in
+      Fun.protect
+        ~finally:(fun () -> close_tier_conn conn)
+        (fun () ->
+          let _, c, _ = conn in
+          warm_hit_rate :=
+            hit_window t (fun () ->
+                List.iter
+                  (fun k ->
+                    if
+                      not
+                        (String.equal golden.(k)
+                           (L.Client.rpc c (solve_line instances.(k))))
+                    then incr sharded_ident_failures)
+                  corpus)));
+  rm_rf socket_dir;
+  rm_rf warm_dir;
+  let sharded =
+    match !sharded with Some s -> s | None -> failwith "sharded stats missing"
+  in
   let row name (s : L.stats) =
     [
       name; string_of_int s.L.sent; string_of_int s.L.received;
@@ -1054,7 +1288,13 @@ let exp_serve ?(mode = `Run) () =
        ~header:[ "arrival"; "sent"; "recv"; "req/s"; "p50 ms"; "p99 ms" ]
        [ row "closed-loop" closed; row "poisson(2000/s)" poisson;
          row "bursty(20@50/s)" bursty;
-         row (Printf.sprintf "multi-conn(%d)" conns) multi ]);
+         row (Printf.sprintf "multi-conn(%d)" conns) multi;
+         row (Printf.sprintf "sharded(%d)" shards3) sharded ]);
+  Printf.printf
+    "sharded tier: cold hit rate %.3f, warm hit rate %.3f (replayed %d), \
+     restarts %d, refused during outage %d\n"
+    !cold_hit_rate !warm_hit_rate !warm_replayed !restart_restarts
+    !restart_refused;
   Printf.printf "cache: %d hits / %d misses (hit rate %.3f)\n" hits misses
     hit_rate;
   Printf.printf "canonical equivalence responses byte-identical: %b\n"
@@ -1094,6 +1334,16 @@ let exp_serve ?(mode = `Run) () =
      core, so concurrency buys interleaving, not parallel solving. *)
   let gate_multi_throughput = multi.L.throughput_rps >= 150.0 in
   let gate_p99 = worst_p99 <= 250.0 in
+  (* Sharded-tier gates. The throughput floor matches the multi-conn
+     gate: fanning out across worker processes must not cost the tier
+     its single-process concurrency floor. *)
+  let sharded_byte_identical = !sharded_ident_failures = 0 in
+  let gate_sharded_throughput = sharded.L.throughput_rps >= 150.0 in
+  let gate_sharded_complete = complete sharded in
+  let gate_warm = !warm_replayed >= 8 && !warm_hit_rate > !cold_hit_rate in
+  let gate_restart =
+    !restart_ok && !accounting_ok && (kill_reqs = 0 || !restart_restarts >= 1)
+  in
   (match mode with
   | `Smoke ->
     Printf.printf
@@ -1103,7 +1353,11 @@ let exp_serve ?(mode = `Run) () =
     assert gate_cache;
     assert byte_identical;
     assert concurrent_byte_identical;
-    assert gate_accounting
+    assert gate_accounting;
+    assert gate_sharded_complete;
+    assert sharded_byte_identical;
+    assert gate_warm;
+    assert gate_restart
   | `Run ->
     Printf.printf
       "gates: throughput>=200rps %b, multi_conn>=150rps %b, p99<=250ms %b \
@@ -1112,6 +1366,11 @@ let exp_serve ?(mode = `Run) () =
       gate_throughput gate_multi_throughput gate_p99 worst_p99 p99_gate_us
       gate_per_kind_p99 gate_cache gate_complete byte_identical
       concurrent_byte_identical gate_accounting;
+    Printf.printf
+      "gates: sharded_throughput>=150rps %b, sharded_byte_identical %b, \
+       warm_hit_rate>cold %b (%.3f > %.3f), restart_accounting %b\n"
+      gate_sharded_throughput sharded_byte_identical gate_warm !warm_hit_rate
+      !cold_hit_rate gate_restart;
     let stats_obj (s : L.stats) =
       J.obj
         [
@@ -1162,6 +1421,22 @@ let exp_serve ?(mode = `Run) () =
                 ("hit_rate", J.float hit_rate);
               ] );
           ("byte_identical", J.bool byte_identical);
+          ( "sharded",
+            J.obj
+              [
+                ("shards", J.int shards3);
+                ("sent", J.int sharded.L.sent);
+                ("received", J.int sharded.L.received);
+                ("throughput_rps", J.float sharded.L.throughput_rps);
+                ("p50_ms", J.float sharded.L.p50_ms);
+                ("p99_ms", J.float sharded.L.p99_ms);
+                ("cold_hit_rate", J.float !cold_hit_rate);
+                ("warm_hit_rate", J.float !warm_hit_rate);
+                ("warm_replayed", J.int !warm_replayed);
+                ("restarts", J.int !restart_restarts);
+                ("refused_during_outage", J.int !restart_refused);
+                ("byte_identical", J.bool sharded_byte_identical);
+              ] );
           ( "gates",
             J.obj
               [
@@ -1174,6 +1449,10 @@ let exp_serve ?(mode = `Run) () =
                 ("byte_identical", J.bool byte_identical);
                 ("concurrent_byte_identical", J.bool concurrent_byte_identical);
                 ("conn_accounting", J.bool gate_accounting);
+                ("sharded_throughput", J.bool gate_sharded_throughput);
+                ("sharded_byte_identical", J.bool sharded_byte_identical);
+                ("warm_hit_rate_gt_cold", J.bool gate_warm);
+                ("restart_accounting", J.bool gate_restart);
               ] );
         ]
     in
@@ -1182,7 +1461,9 @@ let exp_serve ?(mode = `Run) () =
     Printf.printf "wrote BENCH_serve.json\n";
     assert (gate_throughput && gate_multi_throughput && gate_p99
             && gate_per_kind_p99 && gate_cache && gate_complete
-            && byte_identical && concurrent_byte_identical && gate_accounting))
+            && byte_identical && concurrent_byte_identical && gate_accounting
+            && gate_sharded_throughput && gate_sharded_complete
+            && sharded_byte_identical && gate_warm && gate_restart))
 
 (* ---------- registry: dispatch overhead ---------- *)
 

@@ -1136,7 +1136,28 @@ let serve_cmd =
              connections with no partial frame are never evicted. 0 \
              disables the deadline.")
   in
-  let run listen stdio workers queue cache fuel max_conns backlog idle_timeout =
+  let warm_state =
+    Arg.(
+      value & opt string ""
+      & info [ "warm-state" ] ~docv:"DIR"
+          ~doc:
+            "Cache-warming state directory (created if missing). On \
+             graceful drain the server snapshots its canonical-key set to \
+             $(docv)/$(i,ID).crs-warm.jsonl (crs-warm/1); on startup an \
+             existing snapshot is replayed through the real solve path \
+             before the first connection is served. Empty disables \
+             warming.")
+  in
+  let warm_id =
+    Arg.(
+      value & opt string "serve"
+      & info [ "warm-id" ] ~docv:"ID"
+          ~doc:
+            "Snapshot name under $(b,--warm-state) — give each member of \
+             a sharded tier its own (the balancer passes shard-$(i,N)).")
+  in
+  let run listen stdio workers queue cache fuel max_conns backlog idle_timeout
+      warm_state warm_id =
     if
       workers < 1 || queue < 1 || cache < 0 || fuel < 0 || max_conns < 1
       || backlog < 1 || idle_timeout < 0.0
@@ -1159,8 +1180,35 @@ let serve_cmd =
         idle_timeout_s = idle_timeout;
       }
     in
+    (* Warm wiring: install the drain-time snapshot hook, then replay any
+       existing snapshot through the real solve path before the server
+       takes traffic. A corrupt snapshot warns and starts cold — warming
+       is an optimization, never a reason to refuse to serve. *)
+    let wire_warm server =
+      if warm_state <> "" then begin
+        (try Unix.mkdir warm_state 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path =
+          Filename.concat warm_state (warm_id ^ ".crs-warm.jsonl")
+        in
+        Server.set_on_drain server (fun s ->
+            let n = Crs_serve.Warm.save s ~path in
+            Printf.eprintf "crsched serve: warm snapshot %s (%d entries)\n%!"
+              path n);
+        match Crs_serve.Warm.load_and_replay server ~path with
+        | Ok { Crs_serve.Warm.entries = 0; _ } -> ()
+        | Ok r ->
+          Printf.eprintf
+            "crsched serve: warm replay %s: %d/%d entries (%d failed)\n%!"
+            path r.Crs_serve.Warm.replayed r.Crs_serve.Warm.entries
+            r.Crs_serve.Warm.failed
+        | Error msg ->
+          Printf.eprintf "crsched serve: warm replay skipped: %s\n%!" msg
+      end
+    in
     if stdio then begin
       let server = Server.create config in
+      wire_warm server;
       Server.serve_io server ~input:Unix.stdin ~output:Unix.stdout;
       Server.drain server
     end
@@ -1176,6 +1224,7 @@ let serve_cmd =
           exit exit_bind_failed
         | Ok fd ->
           let server = Server.create config in
+          wire_warm server;
           Printf.eprintf "crsched serve: listening on %s\n%!"
             (Server.address_to_string addr);
           Fun.protect
@@ -1209,7 +1258,199 @@ let serve_cmd =
          ])
     Term.(
       const run $ listen $ stdio $ workers $ queue $ cache $ fuel $ max_conns
-      $ backlog $ idle_timeout)
+      $ backlog $ idle_timeout $ warm_state $ warm_id)
+
+(* ---- balance ---- *)
+
+let exit_shards_failed = 5
+
+let balance_cmd =
+  let module Server = Crs_serve.Server in
+  let module Balancer = Crs_serve.Balancer in
+  let sd = Server.default_config in
+  let listen =
+    Arg.(
+      value
+      & opt string "unix:/tmp/crsched-balance.sock"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Public listen address: $(b,unix:)$(i,PATH) or \
+             $(b,tcp:)$(i,HOST:PORT).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N" ~doc:"Worker processes to run.")
+  in
+  let socket_dir =
+    Arg.(
+      value
+      & opt string "/tmp/crsched-shards"
+      & info [ "socket-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the private per-shard Unix sockets (created if \
+             missing; owned by the tier — stale shard sockets in it are \
+             unlinked).")
+  in
+  let warm_state =
+    Arg.(
+      value & opt string ""
+      & info [ "warm-state" ] ~docv:"DIR"
+          ~doc:
+            "Passed to every shard: each persists its canonical-key set to \
+             $(docv)/shard-$(i,N).crs-warm.jsonl on drain and replays it on \
+             startup. Empty disables warming.")
+  in
+  let workers =
+    Arg.(
+      value & opt int sd.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains per shard.")
+  in
+  let queue =
+    Arg.(
+      value & opt int sd.queue
+      & info [ "queue" ] ~docv:"N" ~doc:"Admission bound per shard.")
+  in
+  let cache =
+    Arg.(
+      value & opt int sd.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Memo-cache capacity per shard; 0 disables caching.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt int (Option.value sd.default_fuel ~default:0)
+      & info [ "fuel" ] ~docv:"TICKS"
+          ~doc:"Default per-request fuel deadline per shard; 0 = unlimited.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int sd.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent client connections at the balancer; beyond $(docv) \
+             a connection gets one structured $(b,overloaded) response and \
+             is closed.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int sd.backlog
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"listen(2) backlog for the public socket.")
+  in
+  let health_interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "health-interval" ] ~docv:"SECONDS"
+          ~doc:"Delay between per-shard stats-ping sweeps.")
+  in
+  let restart_backoff =
+    Arg.(
+      value & opt float 0.05
+      & info [ "restart-backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "First respawn delay after a worker death; doubles per \
+             consecutive failure (capped at 2s), resets when a respawn \
+             comes up healthy.")
+  in
+  let run listen shards socket_dir warm_state workers queue cache fuel
+      max_conns backlog health_interval restart_backoff =
+    if
+      shards < 1 || workers < 1 || queue < 1 || cache < 0 || fuel < 0
+      || max_conns < 1 || backlog < 1 || health_interval <= 0.0
+      || restart_backoff <= 0.0
+    then begin
+      Printf.eprintf
+        "error: invalid balance parameters (shards %d, workers %d, queue %d, \
+         cache %d, fuel %d, max-conns %d, backlog %d, health-interval %g, \
+         restart-backoff %g)\n"
+        shards workers queue cache fuel max_conns backlog health_interval
+        restart_backoff;
+      exit 1
+    end;
+    let shard_argv ~index ~socket =
+      let base =
+        [
+          Sys.executable_name; "serve";
+          "--listen"; "unix:" ^ socket;
+          "--workers"; string_of_int workers;
+          "--queue"; string_of_int queue;
+          "--cache"; string_of_int cache;
+          "--fuel"; string_of_int fuel;
+        ]
+      in
+      let warm =
+        if warm_state = "" then []
+        else
+          [
+            "--warm-state"; warm_state;
+            "--warm-id"; Printf.sprintf "shard-%d" index;
+          ]
+      in
+      Array.of_list (base @ warm)
+    in
+    let cfg =
+      {
+        (Balancer.default_config ~shards ~socket_dir ~shard_argv) with
+        Balancer.health_interval_s = health_interval;
+        restart_backoff_s = restart_backoff;
+        max_conns;
+      }
+    in
+    match Server.parse_address listen with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit exit_bad_listen
+    | Ok addr -> (
+      match Server.bind_address ~backlog addr with
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit exit_bind_failed
+      | Ok fd -> (
+        match Balancer.create cfg with
+        | Error msg ->
+          Server.close_address addr fd;
+          Printf.eprintf "error: %s\n" msg;
+          exit exit_shards_failed
+        | Ok balancer ->
+          Printf.eprintf
+            "crsched balance: listening on %s (%d shards in %s)\n%!"
+            (Server.address_to_string addr)
+            shards socket_dir;
+          Fun.protect
+            ~finally:(fun () ->
+              Server.close_address addr fd;
+              Balancer.drain balancer)
+            (fun () -> Balancer.serve balancer fd)))
+  in
+  Cmd.v
+    (Cmd.info "balance"
+       ~doc:"Run a process-sharded serve tier behind one listen address."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Forks $(b,--shards) $(b,crsched serve) worker processes on \
+              private Unix sockets and balances the crs-serve/1 protocol \
+              across them: every solve request is routed by rendezvous hash \
+              of its canonical instance key, so canonically equivalent \
+              instances always hit the same shard's memo cache and \
+              responses stay byte-identical under sharding. Dead workers \
+              are respawned with exponential backoff; requests to an \
+              unreachable shard are answered with a structured \
+              $(b,overloaded) refusal naming the shard. $(b,stats) \
+              aggregates the tier (per-shard health, routing and warm \
+              progress under $(b,balancer.shard)); $(b,shutdown) drains \
+              the whole tier — each shard snapshots its warm state when \
+              $(b,--warm-state) is set.";
+           `P
+             "Exit codes: 3 unparseable --listen, 4 public bind failed, 5 \
+              shard processes failed to come up.";
+         ])
+    Term.(
+      const run $ listen $ shards $ socket_dir $ warm_state $ workers $ queue
+      $ cache $ fuel $ max_conns $ backlog $ health_interval $ restart_backoff)
 
 let main =
   let doc = "Scheduling shared continuous resources on many-cores (SPAA 2014 reproduction)." in
@@ -1218,7 +1459,7 @@ let main =
       algorithms_cmd; gen_cmd; solve_cmd; compare_cmd; campaign_cmd; fuzz_cmd;
       replay_cmd; render_cmd; graph_cmd; normalize_cmd; reduce_cmd;
       simulate_cmd; verify_cmd; bounds_cmd; export_cmd; gallery_cmd; trace_cmd;
-      serve_cmd;
+      serve_cmd; balance_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -42,6 +42,61 @@ let key instance = Instance.to_string (canonicalize instance)
 
 let equivalent a b = String.equal (key a) (key b)
 
+(* ---- structured solve-cache keys ---- *)
+
+module Solve_key = struct
+  (* The memo cache is keyed by everything that changes a solve answer:
+     algorithm, effective fuel, the witness/certify switches and the
+     canonical instance text. The rendering doubles as the crs-warm/1
+     persistence identity, so it must stay parseable: '|' cannot occur
+     in registry names or instance text (digits, '/', spaces and
+     newlines only), and the canonical text is the final field so its
+     newlines survive untouched. *)
+  type t = {
+    algorithm : string;
+    fuel : int option;
+    witness : bool;
+    certify : bool;
+    canon : string;
+  }
+
+  let to_string k =
+    Printf.sprintf "%s|%s|%b%b|%s" k.algorithm
+      (match k.fuel with Some f -> string_of_int f | None -> "-")
+      k.witness k.certify k.canon
+
+  let of_string s =
+    match String.index_opt s '|' with
+    | None -> None
+    | Some i -> (
+      let algorithm = String.sub s 0 i in
+      match String.index_from_opt s (i + 1) '|' with
+      | None -> None
+      | Some j -> (
+        let fuel_s = String.sub s (i + 1) (j - i - 1) in
+        match String.index_from_opt s (j + 1) '|' with
+        | None -> None
+        | Some l -> (
+          let flags = String.sub s (j + 1) (l - j - 1) in
+          let canon = String.sub s (l + 1) (String.length s - l - 1) in
+          let fuel =
+            if String.equal fuel_s "-" then Some None
+            else Option.map Option.some (int_of_string_opt fuel_s)
+          in
+          let bool_pair = function
+            | "truetrue" -> Some (true, true)
+            | "truefalse" -> Some (true, false)
+            | "falsetrue" -> Some (false, true)
+            | "falsefalse" -> Some (false, false)
+            | _ -> None
+          in
+          match (fuel, bool_pair flags) with
+          | Some fuel, Some (witness, certify) ->
+            if algorithm = "" || canon = "" then None
+            else Some { algorithm; fuel; witness; certify; canon }
+          | _ -> None)))
+end
+
 (* ---- bounded LRU cache ---- *)
 
 module Cache = struct
@@ -105,6 +160,16 @@ module Cache = struct
 
   let capacity t = t.cap
   let size t = locked t (fun () -> t.count)
+
+  (* Most-recent first: the natural order for persisting recency (a
+     consumer replaying oldest-first restores the same LRU order). *)
+  let keys t =
+    locked t (fun () ->
+        let rec walk acc = function
+          | None -> List.rev acc
+          | Some node -> walk (node.nkey :: acc) node.next
+        in
+        walk [] t.head)
   let hits t = locked t (fun () -> t.hit_count)
   let misses t = locked t (fun () -> t.miss_count)
   let evictions t = locked t (fun () -> t.eviction_count)

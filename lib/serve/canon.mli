@@ -42,6 +42,31 @@ val key : Crs_core.Instance.t -> string
 val equivalent : Crs_core.Instance.t -> Crs_core.Instance.t -> bool
 (** [key a = key b]. *)
 
+(** Structured form of the daemon's solve-cache keys: everything that
+    changes a solve answer (algorithm, effective fuel, the witness and
+    certify switches) plus the canonical instance text. {!Solve_key.to_string}
+    is the exact string the memo cache is keyed by, and the pair
+    [to_string]/[of_string] round-trips — this is what lets the warm
+    subsystem persist a cache's key set ({b crs-warm/1}) and replay it
+    through the real solve path after a restart. *)
+module Solve_key : sig
+  type t = {
+    algorithm : string;  (** registry name (never contains ['|']) *)
+    fuel : int option;  (** effective deadline the answer was computed under *)
+    witness : bool;
+    certify : bool;
+    canon : string;  (** canonical instance text ({!val:key}), the final
+                         field so embedded newlines survive *)
+  }
+
+  val to_string : t -> string
+  (** [algorithm|fuel|witnesscertify|canon] — the memo-cache key. *)
+
+  val of_string : string -> t option
+  (** Inverse of {!to_string}; [None] on anything else (foreign or
+      corrupted keys are skipped, not guessed at). *)
+end
+
 (** Bounded LRU memo cache, keyed by strings (the daemon uses
     [algorithm / fuel / options / canonical key] compounds). Thread-safe:
     every operation takes an internal mutex, so worker domains may probe
@@ -55,6 +80,11 @@ module Cache : sig
 
   val capacity : 'a t -> int
   val size : 'a t -> int
+
+  val keys : 'a t -> string list
+  (** All keys, most-recently-used first. Replaying the {i reverse} of
+      this list re-inserts entries oldest-first, reconstructing the same
+      recency order — the property warm-state snapshots rely on. *)
 
   val find : 'a t -> string -> 'a option
   (** Probe; a hit refreshes the entry's recency. Counted in {!hits} /

@@ -127,6 +127,17 @@ type conn_counters = {
   drained : int Atomic.t;
 }
 
+(* Warm-replay progress, exposed in stats so an operator (or the
+   balancer's health pings) can watch a restarted shard refill its memo
+   cache. All zeros with [finished] set when no warm state is
+   configured. *)
+type warm_counters = {
+  w_entries : int Atomic.t;
+  w_replayed : int Atomic.t;
+  w_failed : int Atomic.t;
+  w_finished : bool Atomic.t;
+}
+
 type t = {
   config : config;
   admission : Admission.t;
@@ -134,6 +145,13 @@ type t = {
   stop : bool Atomic.t;
   c : counters;
   conns : conn_counters;
+  warm : warm_counters;
+  (* Drain hook: runs exactly once, inside the first [drain] call,
+     BEFORE the executor shuts down — the cache is final (no worker can
+     publish a late entry after readers quiesced) and the process is
+     still fully alive, which is when a warm-state snapshot is sound. *)
+  mutable on_drain : (t -> unit) option;
+  drain_hook_fired : bool Atomic.t;
   lat : Lat.t array; (* indexed by lat_index, always on *)
   m_requests : Metrics.counter;
   m_cache_hits : Metrics.counter;
@@ -148,6 +166,13 @@ type t = {
 }
 
 let create config =
+  (* Every write path here treats a dead peer as Unix_error EPIPE — a
+     connection-local event — which requires the process-default
+     SIGPIPE termination to be off. Idempotent, and deliberately in
+     create (not main): embedders (tests, benches, the balancer) get
+     the same semantics as the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   {
     config;
     admission = Admission.create ~queue:config.queue ~workers:config.workers;
@@ -170,6 +195,15 @@ let create config =
         evicted = Atomic.make 0;
         drained = Atomic.make 0;
       };
+    warm =
+      {
+        w_entries = Atomic.make 0;
+        w_replayed = Atomic.make 0;
+        w_failed = Atomic.make 0;
+        w_finished = Atomic.make true;
+      };
+    on_drain = None;
+    drain_hook_fired = Atomic.make false;
     lat = Array.init (Array.length lat_kinds) (fun _ -> Lat.create ());
     m_requests = Metrics.counter "serve.requests";
     m_cache_hits = Metrics.counter "serve.cache_hits";
@@ -187,7 +221,33 @@ let create config =
   }
 
 let stopping t = Atomic.get t.stop
-let drain t = Admission.drain t.admission
+let set_on_drain t f = t.on_drain <- Some f
+let cache_keys t = Canon.Cache.keys t.cache
+
+let warm_begin t ~entries =
+  Atomic.set t.warm.w_entries entries;
+  Atomic.set t.warm.w_replayed 0;
+  Atomic.set t.warm.w_failed 0;
+  Atomic.set t.warm.w_finished false
+
+let warm_note t ~ok =
+  Atomic.incr (if ok then t.warm.w_replayed else t.warm.w_failed)
+
+let warm_finish t = Atomic.set t.warm.w_finished true
+
+let drain t =
+  (* The hook fires on the first drain only; a failing hook must never
+     leave the executor running, so it reports to stderr instead of
+     escaping. *)
+  (if Atomic.compare_and_set t.drain_hook_fired false true then
+     match t.on_drain with
+     | Some f -> (
+       try f t
+       with exn ->
+         Printf.eprintf "crsched serve: on_drain hook failed: %s\n%!"
+           (Printexc.to_string exn))
+     | None -> ());
+  Admission.drain t.admission
 
 let count t status =
   Atomic.incr t.c.requests;
@@ -269,6 +329,18 @@ let stats_payload t =
           ("steals", J.int s.Crs_exec.Exec.steals);
           ("parks", J.int s.Crs_exec.Exec.parks);
         ] );
+    (* Warm-replay progress (additive in crs-serve/1): how far a
+       restarted server has got replaying its persisted canonical-key
+       set (crs-warm/1) through the real solve path. All zeros with
+       [done] true when no warm state is configured. *)
+    ( "warm",
+      J.obj
+        [
+          ("entries", J.int (Atomic.get t.warm.w_entries));
+          ("replayed", J.int (Atomic.get t.warm.w_replayed));
+          ("failed", J.int (Atomic.get t.warm.w_failed));
+          ("done", J.bool (Atomic.get t.warm.w_finished));
+        ] );
   ]
 
 (* ---- solve ---- *)
@@ -284,9 +356,14 @@ let do_solve t (s : Protocol.solve) =
     match s.fuel with Some _ as f -> f | None -> t.config.default_fuel
   in
   let cache_key =
-    Printf.sprintf "%s|%s|%b%b|%s" s.algorithm
-      (match fuel with Some f -> string_of_int f | None -> "-")
-      s.witness s.certify key
+    Canon.Solve_key.to_string
+      {
+        Canon.Solve_key.algorithm = s.algorithm;
+        fuel;
+        witness = s.witness;
+        certify = s.certify;
+        canon = key;
+      }
   in
   let cached =
     if s.cache then Canon.Cache.find t.cache cache_key else None
@@ -618,6 +695,9 @@ let bind_address ?(backlog = default_config.backlog) addr =
   match addr with
   | Unix_sock path -> (
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* Subprocesses (the balancer's shard workers) must not inherit the
+       listening socket. *)
+    Unix.set_close_on_exec fd;
     (* Deliberately no unlink: an existing path means another daemon (or
        stale state the operator should look at) and must surface as a
        bind failure, not be clobbered. *)
@@ -640,6 +720,7 @@ let bind_address ?(backlog = default_config.backlog) addr =
            (address_to_string addr) host)
     | inet -> (
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.set_close_on_exec fd;
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       match
         Unix.bind fd (Unix.ADDR_INET (inet, port));

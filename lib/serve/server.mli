@@ -95,7 +95,38 @@ val stats_payload : t -> (string * string) list
     counters (live/accepted/refused/evicted/drained). *)
 
 val drain : t -> unit
-(** Join the worker pool (idempotent). Call after the serve loop. *)
+(** Join the worker pool (idempotent). Call after the serve loop.
+
+    {2 Drain state machine}
+
+    [running → stopping → hook → drained]: a [shutdown] request (or
+    {!stopping} being observed) moves the server to {i stopping} —
+    readers finish in-flight batches, refuse latecomers with [draining]
+    and close. The first {!drain} call then (1) fires the {!set_on_drain}
+    hook exactly once, while the memo cache is final but the process is
+    still fully alive — the only sound moment to snapshot cache keys —
+    and (2) shuts the executor down. Further {!drain} calls only re-join
+    the (already stopped) executor. *)
+
+val set_on_drain : t -> (t -> unit) -> unit
+(** Install the drain hook (latest wins). It runs once, inside the
+    first {!drain}, before the executor stops; exceptions are reported
+    on stderr and swallowed so a failing hook cannot wedge the drain.
+    The warm subsystem uses this to persist the canonical-key set. *)
+
+val cache_keys : t -> string list
+(** Memo-cache keys ({!Canon.Solve_key} renderings), most-recent first
+    — the canonical-key set a warm snapshot persists. *)
+
+(** {2 Warm-replay progress}
+
+    Updated by the warm subsystem ([Warm.load_and_replay]); exported as
+    the [warm] object of the [stats] response so operators can watch a
+    restarted server refill its cache. *)
+
+val warm_begin : t -> entries:int -> unit
+val warm_note : t -> ok:bool -> unit
+val warm_finish : t -> unit
 
 (** {2 Streams and sockets} *)
 

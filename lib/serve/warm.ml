@@ -1,0 +1,153 @@
+(* crs-warm/1: persisted canonical-key sets for cache warming.
+
+   A warm file is line-delimited Stable_json: a header object naming the
+   protocol and the entry count, then one object per memo-cache entry
+   (the structured Canon.Solve_key fields, canonical instance text
+   included verbatim). Snapshots are written oldest-entry-first so a
+   replay re-inserts entries in recency order and reconstructs the same
+   LRU state; replay goes through Server.handle_line — the real solve
+   path, admission, fuel deadlines and canonicalization included — so a
+   warmed cache can only ever contain answers the server would have
+   produced for live traffic. *)
+
+module J = Crs_util.Stable_json
+
+let version = "crs-warm/1"
+
+type replay_report = { entries : int; replayed : int; failed : int }
+
+let entry_json (k : Canon.Solve_key.t) =
+  J.obj
+    [
+      ("algorithm", J.str k.algorithm);
+      ("fuel", J.int_opt k.fuel);
+      ("witness", J.bool k.witness);
+      ("certify", J.bool k.certify);
+      ("instance", J.str k.canon);
+    ]
+
+let header_json ~entries =
+  J.obj [ ("proto", J.str version); ("entries", J.int entries) ]
+
+let save server ~path =
+  (* cache_keys is MRU-first; reverse so the file replays oldest-first
+     and the restored cache ends up in the same recency order. *)
+  let keys = List.rev (Server.cache_keys server) in
+  let entries = List.filter_map Canon.Solve_key.of_string keys in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      Out_channel.output_string oc
+        (header_json ~entries:(List.length entries) ^ "\n");
+      List.iter
+        (fun e -> Out_channel.output_string oc (entry_json e ^ "\n"))
+        entries);
+  (* Atomic publish: a reader never sees a half-written snapshot. *)
+  Sys.rename tmp path;
+  List.length entries
+
+(* ---- loading ---- *)
+
+let ( let* ) = Result.bind
+
+let decode_entry json =
+  let* algorithm =
+    match J.member "algorithm" json with
+    | Some (J.Str s) when s <> "" -> Ok s
+    | _ -> Error "field \"algorithm\" must be a non-empty string"
+  in
+  let* fuel =
+    match J.member "fuel" json with
+    | Some J.Null | None -> Ok None
+    | Some (J.Int i) when i >= 0 -> Ok (Some i)
+    | Some _ -> Error "field \"fuel\" must be a non-negative integer or null"
+  in
+  let* witness =
+    match J.member "witness" json with
+    | Some (J.Bool b) -> Ok b
+    | _ -> Error "field \"witness\" must be a boolean"
+  in
+  let* certify =
+    match J.member "certify" json with
+    | Some (J.Bool b) -> Ok b
+    | _ -> Error "field \"certify\" must be a boolean"
+  in
+  let* canon =
+    match J.member "instance" json with
+    | Some (J.Str s) when s <> "" -> Ok s
+    | _ -> Error "field \"instance\" must be a non-empty string"
+  in
+  Ok { Canon.Solve_key.algorithm; fuel; witness; certify; canon }
+
+let load path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  match lines with
+  | [] -> Error (Printf.sprintf "%s: empty warm file (missing header)" path)
+  | header :: rest -> (
+    let* hdr =
+      Result.map_error (fun m -> Printf.sprintf "%s: header: %s" path m)
+        (J.parse header)
+    in
+    match J.member "proto" hdr with
+    | Some (J.Str p) when String.equal p version ->
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match Result.bind (J.parse line) decode_entry with
+          | Ok e -> go (i + 1) (e :: acc) rest
+          | Error msg ->
+            Error (Printf.sprintf "%s: entry %d: %s" path i msg))
+      in
+      go 1 [] rest
+    | Some (J.Str p) ->
+      Error
+        (Printf.sprintf "%s: unsupported warm protocol %S (this build speaks %S)"
+           path p version)
+    | _ -> Error (Printf.sprintf "%s: header lacks a \"proto\" string" path))
+
+(* ---- replay ---- *)
+
+let request_line (e : Canon.Solve_key.t) =
+  J.obj
+    [
+      ("proto", J.str Protocol.version);
+      ("kind", J.str "solve");
+      ("instance", J.str e.canon);
+      ("algorithm", J.str e.algorithm);
+      ("fuel", J.int_opt e.fuel);
+      ("witness", J.bool e.witness);
+      ("certify", J.bool e.certify);
+      ("cache", J.bool true);
+    ]
+
+let replayed_ok response =
+  match J.parse response with
+  | Error _ -> false
+  | Ok json -> (
+    match J.member "status" json with
+    (* Exactly the statuses do_solve caches: the entry is back in the
+       cache. An [error] (e.g. an algorithm this build no longer
+       registers) warms nothing and counts as failed. *)
+    | Some (J.Str ("ok" | "timeout" | "not_applicable")) -> true
+    | _ -> false)
+
+let replay server entries =
+  let n = List.length entries in
+  Server.warm_begin server ~entries:n;
+  let replayed = ref 0 and failed = ref 0 in
+  List.iter
+    (fun e ->
+      let ok = replayed_ok (Server.handle_line server (request_line e)) in
+      if ok then incr replayed else incr failed;
+      Server.warm_note server ~ok)
+    entries;
+  Server.warm_finish server;
+  { entries = n; replayed = !replayed; failed = !failed }
+
+let load_and_replay server ~path =
+  if not (Sys.file_exists path) then
+    Ok { entries = 0; replayed = 0; failed = 0 }
+  else
+    match load path with
+    | Error _ as e -> e
+    | Ok entries -> Ok (replay server entries)

@@ -1,0 +1,47 @@
+(** Cache warming from persisted canonical-key sets ({b crs-warm/1}).
+
+    On graceful drain a server snapshots its memo-cache key set — the
+    structured {!Canon.Solve_key} fields, canonical instance text
+    included — to a line-delimited {!Crs_util.Stable_json} file: one
+    header object [{"proto":"crs-warm/1","entries":N}], then one entry
+    object per line ([algorithm], [fuel], [witness], [certify],
+    [instance]), oldest entry first so a replay reconstructs the same
+    LRU recency order.
+
+    Replay feeds each entry through {!Server.handle_line} — the {i real}
+    solve path, with admission, fuel deadlines and canonicalization —
+    so a warmed cache holds exactly the answers live traffic would have
+    produced (byte-identical responses, the PR 6 guarantee). Timeout
+    entries re-run their budget once at startup; that cost is paid off
+    the request path, which is the point of warming. Progress is pushed
+    into the server's warm counters and visible in [stats] under
+    [warm]. *)
+
+val version : string
+(** ["crs-warm/1"]. *)
+
+type replay_report = {
+  entries : int;  (** entries found in the file *)
+  replayed : int;  (** answered with a cacheable status (ok / timeout /
+                       not_applicable) — back in the cache *)
+  failed : int;  (** answered [error] (e.g. an algorithm this build no
+                     longer has); warms nothing *)
+}
+
+val save : Server.t -> path:string -> int
+(** Snapshot the server's canonical-key set to [path] (write-temp then
+    rename, so a concurrent reader never sees a torn file). Returns the
+    number of entries written. Typically installed as the drain hook:
+    [Server.set_on_drain server (fun s -> ignore (save s ~path))]. *)
+
+val load : string -> (Canon.Solve_key.t list, string) result
+(** Parse a warm file. Errors (wrong protocol, malformed entries) name
+    the file, the line and the cause. *)
+
+val replay : Server.t -> Canon.Solve_key.t list -> replay_report
+(** Replay entries through the real solve path, updating the server's
+    warm progress counters as it goes. *)
+
+val load_and_replay : Server.t -> path:string -> (replay_report, string) result
+(** {!load} then {!replay}. A missing file is a fresh start, not an
+    error: [Ok {entries = 0; _}]. *)

@@ -20,6 +20,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("balance", Test_balance.suite);
       ("manycore", Test_manycore.suite);
       ("extension", Test_extension.suite);
       ("render", Test_render.suite);

@@ -847,6 +847,150 @@ let test_parse_address () =
   bad "tcp:host:notaport";
   bad "unix:"
 
+(* ---- warm (crs-warm/1) ---- *)
+
+module Warm = Crs_serve.Warm
+
+let temp_warm_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crs-warm-test-%d-%d.jsonl" (Unix.getpid ()) !n)
+
+let test_solve_key_roundtrip () =
+  let keys =
+    [
+      {
+        Canon.Solve_key.algorithm = "greedy-balance";
+        fuel = None;
+        witness = false;
+        certify = false;
+        canon = "1/2 1/3\n1/4\n";
+      };
+      {
+        Canon.Solve_key.algorithm = "optimal";
+        fuel = Some 123;
+        witness = true;
+        certify = true;
+        canon = "1/2\n";
+      };
+    ]
+  in
+  List.iter
+    (fun k ->
+      match Canon.Solve_key.of_string (Canon.Solve_key.to_string k) with
+      | Some k' ->
+        Alcotest.(check bool) "solve key round-trips" true (k = k')
+      | None ->
+        Alcotest.failf "solve key failed to parse: %s"
+          (Canon.Solve_key.to_string k))
+    keys;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "garbage rejected: %S" s)
+        true
+        (Option.is_none (Canon.Solve_key.of_string s)))
+    [ ""; "gibberish"; "a|b"; "|x|truefalse|1/2\n"; "alg|x|truefalse|" ]
+
+let test_cache_keys_mru_first () =
+  with_server small_config (fun server ->
+      let a = random_instance 11 and b = random_instance 12 in
+      ignore (Server.handle_line server (solve_line a));
+      ignore (Server.handle_line server (solve_line b));
+      (* Touch [a] again: it must come back as the MRU key. *)
+      ignore (Server.handle_line server (solve_line a));
+      match Server.cache_keys server with
+      | [ ka; kb ] ->
+        let canon_of k =
+          match Canon.Solve_key.of_string k with
+          | Some sk -> sk.Canon.Solve_key.canon
+          | None -> Alcotest.failf "cache key unparseable: %s" k
+        in
+        Alcotest.(check string) "MRU key is the re-touched instance"
+          (Canon.key a) (canon_of ka);
+        Alcotest.(check string) "LRU key is the other instance" (Canon.key b)
+          (canon_of kb)
+      | keys -> Alcotest.failf "expected 2 cache keys, got %d"
+          (List.length keys))
+
+let test_drain_hook_fires_once () =
+  let count = ref 0 in
+  let server = Server.create small_config in
+  Server.set_on_drain server (fun _ -> incr count);
+  ignore (Server.handle_line server (solve_line (random_instance 9)));
+  Server.drain server;
+  Server.drain server;
+  Alcotest.(check int) "hook ran exactly once" 1 !count;
+  (* A hook that raises is reported and swallowed, never wedging drain. *)
+  let raising = Server.create small_config in
+  Server.set_on_drain raising (fun _ -> failwith "boom");
+  Server.drain raising;
+  Server.drain raising
+
+let test_warm_roundtrip_byte_identity () =
+  let path = temp_warm_path () in
+  let instances = List.init 4 (fun i -> random_instance (20 + i)) in
+  let cold =
+    let server = Server.create small_config in
+    Server.set_on_drain server (fun s -> ignore (Warm.save s ~path));
+    let responses =
+      List.map (fun i -> Server.handle_line server (solve_line i)) instances
+    in
+    Server.drain server;
+    responses
+  in
+  Alcotest.(check bool) "snapshot written on drain" true
+    (Sys.file_exists path);
+  with_server small_config (fun warmed ->
+      (match Warm.load_and_replay warmed ~path with
+      | Error msg -> Alcotest.failf "replay failed: %s" msg
+      | Ok report ->
+        Alcotest.(check int) "all entries replayed" 4
+          report.Warm.replayed;
+        Alcotest.(check int) "no replay failures" 0 report.Warm.failed);
+      Alcotest.(check int) "stats expose warm entries" 4
+        (stats_field warmed [ "warm"; "entries" ]);
+      Alcotest.(check int) "stats expose warm replays" 4
+        (stats_field warmed [ "warm"; "replayed" ]);
+      let hits0 = stats_field warmed [ "cache"; "hits" ] in
+      let warm_responses =
+        List.map (fun i -> Server.handle_line warmed (solve_line i)) instances
+      in
+      List.iter2
+        (fun c w ->
+          Alcotest.(check string) "warm response byte-identical to cold" c w)
+        cold warm_responses;
+      Alcotest.(check int) "every post-replay solve is a cache hit"
+        (hits0 + 4)
+        (stats_field warmed [ "cache"; "hits" ]));
+  Sys.remove path
+
+let test_warm_bad_files () =
+  let path = temp_warm_path () in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "{\"proto\":\"crs-warm/9\",\"entries\":0}\n");
+  (match Warm.load path with
+  | Error msg ->
+    Alcotest.(check bool) "error names the supported protocol" true
+      (Helpers.contains ~needle:"crs-warm/1" msg)
+  | Ok _ -> Alcotest.fail "wrong warm protocol accepted");
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        "{\"proto\":\"crs-warm/1\",\"entries\":1}\n{\"algorithm\":\"\"}\n");
+  (match Warm.load path with
+  | Error msg ->
+    Alcotest.(check bool) "entry error names the entry" true
+      (Helpers.contains ~needle:"entry 1" msg)
+  | Ok _ -> Alcotest.fail "malformed warm entry accepted");
+  Sys.remove path;
+  with_server small_config (fun server ->
+      match Warm.load_and_replay server ~path with
+      | Ok r ->
+        Alcotest.(check int) "missing file is a fresh start" 0 r.Warm.entries
+      | Error msg -> Alcotest.failf "missing file should not error: %s" msg)
+
 let suite =
   [
     Alcotest.test_case "canon: idempotent" `Quick test_canon_idempotent;
@@ -895,4 +1039,14 @@ let suite =
     Alcotest.test_case "config: backlog reaches listen(2)" `Quick
       test_backlog_config;
     Alcotest.test_case "address: parse and reject" `Quick test_parse_address;
+    Alcotest.test_case "warm: solve keys round-trip" `Quick
+      test_solve_key_roundtrip;
+    Alcotest.test_case "warm: cache keys come back MRU-first" `Quick
+      test_cache_keys_mru_first;
+    Alcotest.test_case "warm: drain hook fires exactly once" `Quick
+      test_drain_hook_fires_once;
+    Alcotest.test_case "warm: snapshot/replay round-trip, identical bytes"
+      `Quick test_warm_roundtrip_byte_identity;
+    Alcotest.test_case "warm: malformed files rejected with cause" `Quick
+      test_warm_bad_files;
   ]

@@ -1,0 +1,209 @@
+(* docs_check — a markdown link and anchor checker for the repo's
+   prose. Run as `docs_check FILE...` (paths relative to the repo
+   root); exits 1 listing every broken reference.
+
+   Checked, per file:
+   - relative links must point at an existing file (anchors stripped,
+     resolved against the linking file's directory);
+   - `#fragment` links — both same-page and on relative links whose
+     target is itself in the checked set — must match a heading's
+     GitHub-style slug in the target document;
+   - `http(s):`/`mailto:` links are skipped (no network in tier-1).
+
+   Markdown subset: ATX headings (`#`..`######`) and inline
+   `[text](target)` links. Fenced code blocks are stripped first so
+   code samples containing brackets or `#` lines cannot produce false
+   positives. This is deliberately small — it checks the repo's own
+   docs, not arbitrary markdown. *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Drop fenced code blocks (``` or ~~~, any info string). Inline
+   `code spans` survive, but links inside backticks are rare enough in
+   this repo's docs that stripping fences is the right cost/benefit. *)
+let strip_fences lines =
+  let fence line =
+    let t = String.trim line in
+    String.length t >= 3
+    && (String.sub t 0 3 = "```" || String.sub t 0 3 = "~~~")
+  in
+  let _, kept =
+    List.fold_left
+      (fun (in_fence, acc) line ->
+        if fence line then (not in_fence, acc)
+        else if in_fence then (in_fence, acc)
+        else (in_fence, line :: acc))
+      (false, []) lines
+  in
+  List.rev kept
+
+(* GitHub heading slug: lowercase; spaces to dashes; keep only
+   alphanumerics, dashes and underscores. Inline markup is crude-
+   stripped (backticks, emphasis, link syntax) before slugging. *)
+let slug heading =
+  let b = Buffer.create (String.length heading) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> Buffer.add_char b c
+      | ' ' -> Buffer.add_char b '-'
+      | _ -> ())
+    heading;
+  Buffer.contents b
+
+let headings lines =
+  List.filter_map
+    (fun line ->
+      let n = String.length line in
+      let rec hashes i = if i < n && line.[i] = '#' then hashes (i + 1) else i in
+      let h = hashes 0 in
+      if h = 0 || h > 6 || (h < n && line.[h] <> ' ') then None
+      else
+        let text = String.trim (String.sub line h (n - h)) in
+        (* Strip inline markup that GitHub drops from slugs: backticks,
+           emphasis markers, and link syntax `[text](target)`. *)
+        let b = Buffer.create (String.length text) in
+        let skip = ref 0 in
+        String.iter
+          (fun c ->
+            match c with
+            | '`' | '*' | '[' | ']' -> ()
+            | '(' when Buffer.length b > 0 && !skip = 0 ->
+              (* A '(' right after ']' starts a link target; we already
+                 dropped the ']', so approximate: drop parenthesized
+                 runs that look like targets (contain no spaces). *)
+              skip := 1
+            | ')' when !skip = 1 -> skip := 0
+            | _ when !skip = 1 -> ()
+            | c -> Buffer.add_char b c)
+          text;
+        Some (slug (String.trim (Buffer.contents b))))
+    lines
+
+(* All inline [text](target) links in a line. Tolerates nested
+   brackets in the text by tracking depth. *)
+let links_of_line line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = '[' then begin
+      let depth = ref 1 in
+      let j = ref (!i + 1) in
+      while !j < n && !depth > 0 do
+        (match line.[!j] with
+        | '[' -> incr depth
+        | ']' -> decr depth
+        | _ -> ());
+        if !depth > 0 then incr j
+      done;
+      if !j + 1 < n && !depth = 0 && line.[!j + 1] = '(' then begin
+        let k = ref (!j + 2) in
+        while !k < n && line.[!k] <> ')' do
+          incr k
+        done;
+        if !k < n then begin
+          out := String.sub line (!j + 2) (!k - !j - 2) :: !out;
+          i := !k + 1
+        end
+        else i := !j + 1
+      end
+      else i := !i + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let external_target t =
+  let pre p =
+    String.length t >= String.length p && String.sub t 0 (String.length p) = p
+  in
+  pre "http://" || pre "https://" || pre "mailto:"
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then (
+    prerr_endline "usage: docs_check FILE.md ...";
+    exit 2);
+  (* Heading slugs per checked file, keyed by normalized path, so
+     anchors on cross-links into the checked set are verified too. *)
+  let norm p =
+    (* Resolve "." and ".." segments lexically. *)
+    let parts = String.split_on_char '/' p in
+    let stack =
+      List.fold_left
+        (fun acc part ->
+          match (part, acc) with
+          | ("" | "."), _ -> acc
+          | "..", _ :: rest -> rest
+          | "..", [] -> [ ".." ]
+          | p, _ -> p :: acc)
+        [] parts
+    in
+    String.concat "/" (List.rev stack)
+  in
+  let slugs = Hashtbl.create 16 in
+  let contents =
+    List.map
+      (fun f ->
+        let lines = strip_fences (read_lines f) in
+        Hashtbl.replace slugs (norm f) (headings lines);
+        (f, lines))
+      files
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun (file, lines) ->
+      let dir = Filename.dirname file in
+      List.iteri
+        (fun ln line ->
+          List.iter
+            (fun target ->
+              if external_target target || target = "" then ()
+              else
+                let path, anchor =
+                  match String.index_opt target '#' with
+                  | Some 0 -> ("", String.sub target 1 (String.length target - 1))
+                  | Some i ->
+                    ( String.sub target 0 i,
+                      String.sub target (i + 1) (String.length target - i - 1)
+                    )
+                  | None -> (target, "")
+                in
+                let resolved =
+                  if path = "" then norm file
+                  else norm (Filename.concat dir path)
+                in
+                if path <> "" && not (Sys.file_exists resolved) then
+                  fail "%s:%d: broken link: %s (no such file %s)" file (ln + 1)
+                    target resolved
+                else if anchor <> "" then
+                  match Hashtbl.find_opt slugs resolved with
+                  | None -> () (* target exists but is outside the set *)
+                  | Some hs ->
+                    if not (List.mem anchor hs) then
+                      fail "%s:%d: broken anchor: %s (no heading #%s in %s)"
+                        file (ln + 1) target anchor resolved)
+            (links_of_line line))
+        lines)
+    contents;
+  match !failures with
+  | [] ->
+    Printf.printf "docs-check: %d files, all links and anchors resolve\n"
+      (List.length files)
+  | fs ->
+    List.iter prerr_endline (List.rev fs);
+    Printf.eprintf "docs-check: %d broken references\n" (List.length fs);
+    exit 1
